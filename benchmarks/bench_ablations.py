@@ -1,0 +1,154 @@
+"""Ablation studies for the design choices DESIGN.md calls out.
+
+These are not in the paper's evaluation, but each probes one of its
+arguments:
+
+* miss-detection depth — the blocked scheme's 7-cycle flush is exactly
+  the pipeline's miss-detection depth; shortening it (the "replicate the
+  pipeline registers" proposals of Section 2.2) closes part of the gap;
+* memory latency — with long (multiprocessor-like) latencies the blocked
+  scheme catches up, with short (workstation) latencies it cannot: the
+  paper's central workstation argument;
+* context count — throughput as contexts scale;
+* backoff length — the interleaved scheme's tool for long instruction
+  latency;
+* BTB size — control-transfer hazards are part of what interleaving
+  tolerates.
+"""
+
+from dataclasses import replace
+
+from repro.config import SystemConfig
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.report import render_table
+
+from conftest import run_once
+
+_WARMUP = 15_000
+_MEASURE = 60_000
+
+
+def _context(config):
+    return ExperimentContext(config=config, warmup=_WARMUP,
+                             measure=_MEASURE)
+
+
+def _gain(ctx, workload, scheme, n):
+    base = ctx.normalized_throughput(workload, "single", 1)
+    return ctx.normalized_throughput(workload, scheme, n) / base
+
+
+def test_ablation_miss_detect_depth(benchmark, save_result):
+    """Blocked switch cost vs pipeline miss-detection depth (DC, 4ctx)."""
+
+    def sweep():
+        out = {}
+        for offset in (2, 4, 6, 8):
+            cfg = SystemConfig.fast().with_pipeline(
+                miss_detect_offset=offset)
+            ctx = _context(cfg)
+            out[offset] = (_gain(ctx, "DC", "blocked", 4),
+                           _gain(ctx, "DC", "interleaved", 4))
+        return out
+
+    result = run_once(benchmark, sweep)
+    rows = [("detect offset %d (flush %d)" % (o, o + 1),
+             [b, i]) for o, (b, i) in sorted(result.items())]
+    text = save_result("ablation_miss_detect", render_table(
+        "Ablation: DC throughput ratio vs miss-detection depth",
+        ["blocked", "interleaved"], rows, col_width=13))
+    print("\n" + text)
+    # A deeper flush must not help the blocked scheme.
+    blocked = [b for _, (b, i) in sorted(result.items())]
+    assert blocked[0] >= blocked[-1] - 0.05
+
+
+def test_ablation_memory_latency(benchmark, save_result):
+    """The workstation argument: short latencies defeat the blocked
+    scheme, long ones rescue it."""
+
+    def sweep():
+        out = {}
+        for scale in (0.5, 1.0, 3.0, 6.0):
+            base = SystemConfig.fast()
+            cfg = base.with_memory(
+                l2_hit_latency=max(3, int(9 * scale)),
+                memory_latency=max(8, int(34 * scale)))
+            ctx = _context(cfg)
+            out[scale] = (_gain(ctx, "DC", "blocked", 4),
+                          _gain(ctx, "DC", "interleaved", 4))
+        return out
+
+    result = run_once(benchmark, sweep)
+    rows = [("latency x%.1f" % s, [b, i])
+            for s, (b, i) in sorted(result.items())]
+    text = save_result("ablation_latency", render_table(
+        "Ablation: DC throughput ratio vs memory latency",
+        ["blocked", "interleaved"], rows, col_width=13))
+    print("\n" + text)
+    gaps = {s: i - b for s, (b, i) in result.items()}
+    # Blocked's relative disadvantage shrinks as latency grows.
+    assert gaps[0.5] > gaps[6.0] - 0.05
+
+
+def test_ablation_context_count(benchmark, save_result):
+    """Throughput scaling with hardware contexts (interleaved, R1)."""
+
+    def sweep():
+        ctx = _context(SystemConfig.fast())
+        return {n: _gain(ctx, "R1", "interleaved", n) if n > 1 else 1.0
+                for n in (1, 2, 4)}
+
+    result = run_once(benchmark, sweep)
+    rows = [("%d contexts" % n, [v]) for n, v in sorted(result.items())]
+    text = save_result("ablation_contexts", render_table(
+        "Ablation: R1 throughput ratio vs context count (interleaved)",
+        ["ratio"], rows))
+    print("\n" + text)
+    assert result[4] > result[2] > 0.9
+
+
+def test_ablation_backoff_length(benchmark, save_result):
+    """FP workload sensitivity to the backoff hint length."""
+    import repro.workloads.kernels.linalg as linalg
+
+    def sweep():
+        out = {}
+        original = linalg.FDIV_BACKOFF
+        try:
+            for length in (0, 13, 52, 104):
+                linalg.FDIV_BACKOFF = length
+                ctx = _context(SystemConfig.fast())
+                out[length] = _gain(ctx, "FP", "interleaved", 4)
+        finally:
+            linalg.FDIV_BACKOFF = original
+        return out
+
+    result = run_once(benchmark, sweep)
+    rows = [("backoff %d" % n, [v]) for n, v in sorted(result.items())]
+    text = save_result("ablation_backoff", render_table(
+        "Ablation: FP throughput ratio vs backoff length (4ctx)",
+        ["ratio"], rows))
+    print("\n" + text)
+    assert max(result.values()) > 1.0
+
+
+def test_ablation_btb_size(benchmark, save_result):
+    """Branchy code (IC workload) vs BTB capacity."""
+
+    def sweep():
+        out = {}
+        for entries in (4, 64, 2048):
+            cfg = SystemConfig.fast().with_pipeline(btb_entries=entries)
+            ctx = _context(cfg)
+            run = ctx.uniproc_run("IC", "interleaved", 4)
+            out[entries] = run.result.stats.utilization()
+        return out
+
+    result = run_once(benchmark, sweep)
+    rows = [("%d entries" % n, [v]) for n, v in sorted(result.items())]
+    text = save_result("ablation_btb", render_table(
+        "Ablation: IC utilisation vs BTB size (interleaved, 4ctx)",
+        ["busy fraction"], rows, col_width=14))
+    print("\n" + text)
+    assert result[2048] >= result[4]

@@ -1,0 +1,90 @@
+"""Second ablation batch: OS and memory-system design parameters."""
+
+from dataclasses import replace
+
+from repro.config import SystemConfig
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.report import render_table
+
+from conftest import run_once
+
+_WARMUP = 15_000
+_MEASURE = 60_000
+
+
+def _ctx(config):
+    return ExperimentContext(config=config, warmup=_WARMUP,
+                             measure=_MEASURE)
+
+
+def _gain(ctx, workload, scheme, n):
+    base = ctx.normalized_throughput(workload, "single", 1)
+    return ctx.normalized_throughput(workload, scheme, n) / base
+
+
+def test_ablation_mshr_capacity(benchmark, save_result):
+    """Outstanding-miss capacity vs multithreaded memory overlap."""
+
+    def sweep():
+        out = {}
+        for capacity in (1, 2, 4, 8):
+            cfg = SystemConfig.fast().with_memory(mshr_capacity=capacity)
+            out[capacity] = _gain(_ctx(cfg), "DC", "interleaved", 4)
+        return out
+
+    result = run_once(benchmark, sweep)
+    rows = [("%d MSHRs" % c, [g]) for c, g in sorted(result.items())]
+    text = save_result("ablation_mshr", render_table(
+        "Ablation: DC interleaved gain vs MSHR capacity (4ctx)",
+        ["gain"], rows))
+    print("\n" + text)
+    # One outstanding miss cannot overlap four contexts' misses.
+    assert result[8] >= result[1]
+
+
+def test_ablation_time_slice(benchmark, save_result):
+    """Scheduler slice length vs cache-reload overhead (single ctx)."""
+
+    def sweep():
+        out = {}
+        for slice_len in (1_000, 5_000, 20_000):
+            cfg = SystemConfig.fast()
+            cfg = replace(cfg, os=replace(cfg.os,
+                                          time_slice=slice_len))
+            ctx = _ctx(cfg)
+            run = ctx.uniproc_run("DC", "single", 1)
+            out[slice_len] = run.result.stats.utilization()
+        return out
+
+    result = run_once(benchmark, sweep)
+    rows = [("slice %d" % s, [u]) for s, u in sorted(result.items())]
+    text = save_result("ablation_slice", render_table(
+        "Ablation: DC single-context utilisation vs time slice",
+        ["busy fraction"], rows, col_width=14))
+    print("\n" + text)
+    # Longer slices amortise the post-swap cache reload.
+    assert result[20_000] >= result[1_000] - 0.02
+
+
+def test_ablation_lock_transfer(benchmark, save_result):
+    """Lock handoff latency vs a lock-heavy application (locus)."""
+    from repro.config import MultiprocessorParams
+
+    def sweep():
+        out = {}
+        for latency in (5, 20, 80):
+            params = MultiprocessorParams(n_nodes=4,
+                                          lock_transfer_latency=latency)
+            ctx = ExperimentContext(mp_params=params)
+            base = ctx.mp_run("locus", "single", 1).cycles
+            run = ctx.mp_run("locus", "interleaved", 4)
+            out[latency] = base / run.cycles
+        return out
+
+    result = run_once(benchmark, sweep)
+    rows = [("handoff %d" % l, [s]) for l, s in sorted(result.items())]
+    text = save_result("ablation_lock_transfer", render_table(
+        "Ablation: locus speedup vs lock transfer latency (4ctx)",
+        ["speedup"], rows))
+    print("\n" + text)
+    assert result[5] >= result[80] - 0.05

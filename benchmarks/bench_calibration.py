@@ -1,0 +1,96 @@
+"""Calibration sweeps with the synthetic stream generator.
+
+These isolate single workload properties (which the structured kernels
+cannot) and confirm the mechanisms behind the paper's results:
+
+* dependency distance — short distances are exactly the "pipeline
+  dependencies" the blocked scheme cannot tolerate but cycle-by-cycle
+  interleaving hides (Section 3);
+* memory intensity — the latency-tolerance gradient between the schemes.
+"""
+
+from repro.config import SystemConfig
+from repro.core.simulator import WorkstationSimulator
+from repro.workloads.synthetic import StreamSpec, build_stream_process
+from repro.experiments.report import render_table
+
+from conftest import run_once
+
+_MEASURE = 40_000
+_WARMUP = 8_000
+
+
+def _throughput(spec, scheme, n_contexts):
+    procs = [build_stream_process(spec, index=i, iterations=None)
+             for i in range(max(1, n_contexts))]
+    sim = WorkstationSimulator(procs, scheme=scheme,
+                               n_contexts=n_contexts,
+                               config=SystemConfig.fast())
+    return sim.measure(_MEASURE, warmup=_WARMUP).total_ipc()
+
+
+def test_calibration_dependency_distance(benchmark, save_result):
+    """Interleaving's edge grows as dependency distance shrinks."""
+
+    def sweep():
+        out = {}
+        for distance in (1, 2, 4, 8):
+            spec = StreamSpec(name="dep%d" % distance,
+                              dependency_distance=distance,
+                              load_fraction=0.05, store_fraction=0.02,
+                              fp_fraction=0.25, seed=17)
+            single = _throughput(spec, "single", 1)
+            inter = _throughput(spec, "interleaved", 4)
+            blocked = _throughput(spec, "blocked", 4)
+            out[distance] = (single, blocked / single, inter / single)
+        return out
+
+    result = run_once(benchmark, sweep)
+    rows = [("distance %d" % d,
+             ["%.2f" % s, "%.2f" % b, "%.2f" % i])
+            for d, (s, b, i) in sorted(result.items())]
+    text = save_result("calibration_dependency", render_table(
+        "Calibration: IPC and gain vs dependency distance",
+        ["single IPC", "blocked x", "interleaved x"], rows,
+        col_width=14))
+    print("\n" + text)
+    # Tight dependencies hurt the baseline most...
+    assert result[1][0] < result[8][0]
+    # ...and interleaving recovers them better than blocking does.
+    assert result[1][2] > result[1][1]
+
+
+def test_calibration_cache_interference(benchmark, save_result):
+    """Multiple contexts share one cache: interference vs footprint.
+
+    Section 5.1 of the paper observes that multiple contexts change the
+    cache behaviour of the resident applications.  With workstation-short
+    latencies the interference effect is strong: four streaming contexts
+    whose combined footprint fits the L1 gain from interleaving, while
+    four that blow it lose more to extra misses (each one a doomed-window
+    squash) than latency overlap wins back.
+    """
+
+    def sweep():
+        out = {}
+        for footprint in (256, 2048, 6144):
+            spec = StreamSpec(name="fp%d" % footprint,
+                              load_fraction=0.25, store_fraction=0.08,
+                              footprint_words=footprint,
+                              access_stride=5, seed=23)
+            single = _throughput(spec, "single", 1)
+            inter = _throughput(spec, "interleaved", 4)
+            out[footprint] = (single, inter / single)
+        return out
+
+    result = run_once(benchmark, sweep)
+    rows = [("%d KB x 4 contexts" % (4 * f // 1024),
+             ["%.2f" % s, "%.2f" % g])
+            for f, (s, g) in sorted(result.items())]
+    text = save_result("calibration_interference", render_table(
+        "Calibration: interleaved gain vs combined cache footprint",
+        ["single IPC", "interleaved x"], rows, col_width=14))
+    print("\n" + text)
+    gains = [g for _, (s, g) in sorted(result.items())]
+    assert gains[0] > gains[-1]      # interference grows with footprint
+    assert gains[0] > 1.0            # cache-resident contexts do gain

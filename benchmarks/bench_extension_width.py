@@ -1,0 +1,59 @@
+"""Extension study: issue width x context count (the road to SMT).
+
+Section 7 of the paper looks ahead at superscalar processors; this sweep
+shows why that road ends at simultaneous multithreading: a wider
+in-order front end gains little from one thread (dependencies starve
+it), while interleaved contexts scale utilisation with width.
+"""
+
+from dataclasses import replace
+
+from repro.config import SystemConfig
+from repro.core.simulator import WorkstationSimulator
+from repro.workloads import build_workload
+from repro.experiments.report import render_table
+
+from conftest import run_once
+
+_MEASURE = 50_000
+_WARMUP = 10_000
+
+
+def _utilization(width, scheme, n_contexts):
+    cfg = SystemConfig.fast()
+    cfg = replace(cfg, pipeline=replace(cfg.pipeline, issue_width=width))
+    procs, instances, barriers = build_workload("R1", scale=1.0)
+    sim = WorkstationSimulator(procs, scheme=scheme,
+                               n_contexts=n_contexts, config=cfg,
+                               app_instances=instances,
+                               barriers=barriers)
+    res = sim.measure(_MEASURE, warmup=_WARMUP)
+    return res.stats.utilization(), res.total_ipc()
+
+
+def test_extension_issue_width(benchmark, save_result):
+    def sweep():
+        out = {}
+        for width in (1, 2, 4):
+            out[(width, 1)] = _utilization(width, "single", 1)
+            out[(width, 4)] = _utilization(width, "interleaved", 4)
+        return out
+
+    result = run_once(benchmark, sweep)
+    rows = []
+    for width in (1, 2, 4):
+        u1, ipc1 = result[(width, 1)]
+        u4, ipc4 = result[(width, 4)]
+        rows.append(("width %d" % width,
+                     ["%.2f" % ipc1, "%.0f%%" % (100 * u1),
+                      "%.2f" % ipc4, "%.0f%%" % (100 * u4)]))
+    text = save_result("extension_width", render_table(
+        "Extension: IPC / utilisation vs issue width (R1 workload)",
+        ["1-thread IPC", "util", "4-ctx IPC", "util"], rows,
+        col_width=14))
+    print("\n" + text)
+    # One thread cannot use the width...
+    assert result[(4, 1)][1] < 2.0 * result[(1, 1)][1]
+    # ...but four interleaved contexts convert width into IPC.
+    assert result[(2, 4)][1] > 1.15 * result[(1, 4)][1]
+    assert result[(2, 4)][1] > result[(2, 1)][1]

@@ -1,0 +1,20 @@
+"""Regenerate Figure 2 and Figure 3 (switch-cost microbenchmarks)."""
+
+from repro.experiments import figure2, figure3
+
+from conftest import run_once
+
+
+def test_figure2(benchmark, save_result):
+    result = run_once(benchmark, figure2.run)
+    text = save_result("figure2", figure2.render(result))
+    print("\n" + text)
+    assert result["blocked"] == 7
+    assert result["interleaved"] == 2
+
+
+def test_figure3(benchmark, save_result):
+    result = run_once(benchmark, figure3.run)
+    text = save_result("figure3", figure3.render(result))
+    print("\n" + text)
+    assert result["interleaved"][0] < result["blocked"][0]

@@ -1,0 +1,27 @@
+"""Regenerate Figures 6 and 7 (uniprocessor utilisation breakdowns)."""
+
+from repro.experiments import figures6_7
+
+from conftest import run_once
+
+
+def test_figure6_blocked(benchmark, ctx, save_result):
+    result = run_once(benchmark,
+                      lambda: figures6_7.run(ctx, scheme="blocked"))
+    text = save_result("figure6",
+                       figures6_7.render(result, scheme="blocked"))
+    print("\n" + text)
+    assert set(result) == {"IC", "DC", "DT", "FP", "R0", "R1", "SP"}
+
+
+def test_figure7_interleaved(benchmark, ctx, save_result):
+    result = run_once(benchmark,
+                      lambda: figures6_7.run(ctx, scheme="interleaved"))
+    text = save_result("figure7",
+                       figures6_7.render(result, scheme="interleaved"))
+    print("\n" + text)
+    # Paper: utilisation increases with contexts under interleaving.
+    for workload in ("DC", "SP", "R1"):
+        one = result[workload][1]["busy"]
+        four = result[workload][4]["busy"]
+        assert four > one, workload

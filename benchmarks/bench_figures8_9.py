@@ -1,0 +1,25 @@
+"""Regenerate Figures 8 and 9 (multiprocessor time breakdowns)."""
+
+from repro.experiments import figures8_9
+
+from conftest import run_once
+
+
+def test_figure8_blocked(benchmark, ctx, save_result):
+    result = run_once(benchmark,
+                      lambda: figures8_9.run(ctx, scheme="blocked"))
+    text = save_result("figure8",
+                       figures8_9.render(result, scheme="blocked"))
+    print("\n" + text)
+    assert "mp3d" in result
+
+
+def test_figure9_interleaved(benchmark, ctx, save_result):
+    result = run_once(benchmark,
+                      lambda: figures8_9.run(ctx, scheme="interleaved"))
+    text = save_result("figure9",
+                       figures8_9.render(result, scheme="interleaved"))
+    print("\n" + text)
+    # Execution time shrinks with contexts for the memory-bound app.
+    times = {n: result["mp3d"][n][0] for n in (1, 4)}
+    assert times[4] < times[1]

@@ -1,0 +1,49 @@
+"""Scaling validation: the fast profile preserves the paper profile's
+orderings.
+
+DESIGN.md §6 claims the 8x-scaled fast profile preserves the ratios the
+results depend on.  This benchmark runs the same experiment on both
+profiles and checks that the scheme ordering (and the rough size of the
+interleaved gain) carries over.
+"""
+
+from repro.config import SystemConfig
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.report import render_table
+
+from conftest import run_once
+
+_WARMUP = 20_000
+_MEASURE = 80_000
+_WORKLOAD = "DC"
+
+
+def _gains(config):
+    ctx = ExperimentContext(config=config, warmup=_WARMUP,
+                            measure=_MEASURE)
+    base = ctx.normalized_throughput(_WORKLOAD, "single", 1)
+    return {
+        "blocked": ctx.normalized_throughput(_WORKLOAD, "blocked", 4)
+        / base,
+        "interleaved": ctx.normalized_throughput(
+            _WORKLOAD, "interleaved", 4) / base,
+    }
+
+
+def test_scaling_validation(benchmark, save_result):
+    def run():
+        return {
+            "fast": _gains(SystemConfig.fast()),
+            "paper": _gains(SystemConfig.paper()),
+        }
+
+    result = run_once(benchmark, run)
+    rows = [(profile, [vals["blocked"], vals["interleaved"]])
+            for profile, vals in sorted(result.items())]
+    text = save_result("scaling_validation", render_table(
+        "Scaling validation: DC gains at 4 contexts, both profiles",
+        ["blocked", "interleaved"], rows, col_width=13))
+    print("\n" + text)
+    for profile, vals in result.items():
+        assert vals["interleaved"] > vals["blocked"], profile
+        assert vals["interleaved"] > 1.2, profile

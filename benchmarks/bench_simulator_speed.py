@@ -1,0 +1,37 @@
+"""Raw simulator performance (host cycles-per-second).
+
+The one benchmark here that uses pytest-benchmark's statistics properly:
+it times the simulator's hot loop over repeated rounds, guarding against
+performance regressions of the cycle loop itself.
+"""
+
+from repro.config import SystemConfig
+from repro.core.simulator import WorkstationSimulator
+from repro.workloads import build_workload
+
+
+def _make_sim(scheme, n_contexts):
+    procs, instances, barriers = build_workload("R1", scale=1.0)
+    return WorkstationSimulator(procs, scheme=scheme,
+                                n_contexts=n_contexts,
+                                config=SystemConfig.fast(),
+                                app_instances=instances,
+                                barriers=barriers)
+
+
+def test_speed_single_context(benchmark):
+    sim = _make_sim("single", 1)
+    sim.run(5_000)                      # warm caches
+    benchmark.pedantic(lambda: sim.run(10_000), rounds=5, iterations=1)
+
+
+def test_speed_interleaved_four_contexts(benchmark):
+    sim = _make_sim("interleaved", 4)
+    sim.run(5_000)
+    benchmark.pedantic(lambda: sim.run(10_000), rounds=5, iterations=1)
+
+
+def test_speed_blocked_four_contexts(benchmark):
+    sim = _make_sim("blocked", 4)
+    sim.run(5_000)
+    benchmark.pedantic(lambda: sim.run(10_000), rounds=5, iterations=1)

@@ -1,0 +1,13 @@
+"""The paper-vs-measured verdict report (shares the session's runs)."""
+
+from repro.experiments import summary
+
+from conftest import run_once
+
+
+def test_summary_verdicts(benchmark, ctx, save_result):
+    results = run_once(benchmark, lambda: summary.run(ctx))
+    text = save_result("summary", summary.render(results))
+    print("\n" + text)
+    passed = sum(c.passed for c in summary.CLAIMS)
+    assert passed == len(summary.CLAIMS), text

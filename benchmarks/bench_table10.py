@@ -1,0 +1,27 @@
+"""Regenerate Table 10 (multiprocessor speedups)."""
+
+from repro.experiments import table10
+
+from conftest import run_once
+
+
+def test_table10(benchmark, ctx, save_result):
+    result = run_once(benchmark, lambda: table10.run(ctx))
+    text = save_result("table10", table10.render(result))
+    print("\n" + text)
+    # Paper shapes: interleaved >= blocked at 4 and 8 contexts for every
+    # application; Cholesky shows no gain.  The epsilon absorbs
+    # random-latency noise on effectively tied applications.
+    for n in (4, 8):
+        inter = result[("interleaved", n)]
+        blocked = result[("blocked", n)]
+        wins = sum(inter[a] >= blocked[a] - 0.05 for a in inter)
+        assert wins >= len(inter) - 1       # allow one mp3d-style upset
+    assert result[("interleaved", 8)]["cholesky"] < 1.2
+    # The paper's one exception: 4-context interleaved beats 8-context
+    # blocked for every application except MP3D.
+    inter4 = result[("interleaved", 4)]
+    blocked8 = result[("blocked", 8)]
+    beaten = [a for a in inter4
+              if inter4[a] < blocked8[a] - 0.05]
+    assert beaten in ([], ["mp3d"]), beaten

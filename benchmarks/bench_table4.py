@@ -1,0 +1,13 @@
+"""Regenerate Table 4 (context switch costs)."""
+
+from repro.experiments import table4
+
+from conftest import run_once
+
+
+def test_table4(benchmark, save_result):
+    result = run_once(benchmark, table4.run)
+    text = save_result("table4", table4.render(result))
+    print("\n" + text)
+    assert result[("cache_miss", "blocked")] == 7
+    assert result[("explicit", "interleaved")] == 1

@@ -1,0 +1,19 @@
+"""Regenerate Table 7 (uniprocessor throughput increases)."""
+
+from repro.experiments import table7
+
+from conftest import run_once
+
+
+def test_table7(benchmark, ctx, save_result):
+    result = run_once(benchmark, lambda: table7.run(ctx))
+    text = save_result("table7", table7.render(result))
+    print("\n" + text)
+    # Shape assertions from the paper's Section 5.1.
+    means = {}
+    for key, row in result.items():
+        values = list(row.values())
+        means[key] = table7.geometric_mean(values)
+    assert means[("interleaved", 4)] > means[("blocked", 4)]
+    assert means[("interleaved", 2)] > means[("blocked", 2)]
+    assert means[("interleaved", 4)] > 1.2

@@ -1,0 +1,41 @@
+"""Shared fixtures for the benchmark suite.
+
+A session-scoped :class:`ExperimentContext` memoises simulations across
+benchmarks (Table 7 and Figures 6/7 intentionally share runs, exactly as
+the paper's tables and figures describe the same experiments), and every
+benchmark writes its rendered table/figure under ``results/`` so
+EXPERIMENTS.md can be assembled from real output.
+"""
+
+import pathlib
+
+import pytest
+
+from repro.experiments.runner import ExperimentContext
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent.parent / "results"
+
+
+@pytest.fixture(scope="session")
+def ctx():
+    return ExperimentContext()
+
+
+@pytest.fixture(scope="session")
+def save_result():
+    RESULTS_DIR.mkdir(exist_ok=True)
+
+    def _save(name, text):
+        (RESULTS_DIR / ("%s.txt" % name)).write_text(text + "\n")
+        return text
+
+    return _save
+
+
+def run_once(benchmark, fn):
+    """Run an experiment exactly once under the benchmark clock.
+
+    The simulations are deterministic and expensive; multiple rounds
+    would only repeat identical work.
+    """
+    return benchmark.pedantic(fn, rounds=1, iterations=1)

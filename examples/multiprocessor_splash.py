@@ -1,0 +1,55 @@
+#!/usr/bin/env python
+"""The paper's multiprocessor experiment on two contrasting applications.
+
+Runs the Ocean stand-in (nearest-neighbour stencil: lots of short
+pipeline dependencies, the blocked scheme's weakness) and the Cholesky
+stand-in (a serial column chain: no exploitable parallelism, so *nothing*
+helps) on a 4-node DASH-like directory-coherent machine.
+
+Run:  python examples/multiprocessor_splash.py
+"""
+
+from repro.config import MultiprocessorParams
+from repro.core.mpsimulator import MultiprocessorSimulator
+from repro.workloads.splash import build_app
+
+N_NODES = 4
+APPS = ("ocean", "cholesky")
+CONFIGS = (("single", 1), ("blocked", 4), ("interleaved", 4))
+
+
+def main():
+    print(__doc__)
+    params = MultiprocessorParams(n_nodes=N_NODES)
+    for app_name in APPS:
+        print("== %s on %d nodes ==" % (app_name, N_NODES))
+        base_cycles = None
+        for scheme, n_contexts in CONFIGS:
+            app = build_app(app_name,
+                            n_threads=N_NODES * n_contexts,
+                            threads_per_node=n_contexts)
+            sim = MultiprocessorSimulator(app, scheme=scheme,
+                                          n_contexts=n_contexts,
+                                          params=params)
+            result = sim.run_to_completion()
+            if base_cycles is None:
+                base_cycles = result.cycles
+            bd = result.breakdown_fractions()
+            print("  %-12s %d ctx: %7d cycles  speedup %.2fx  "
+                  "busy %2.0f%%  mem %2.0f%%  sync %2.0f%%  switch %2.0f%%"
+                  % (scheme, n_contexts, result.cycles,
+                     base_cycles / result.cycles,
+                     100 * bd["busy"], 100 * bd["memory"],
+                     100 * bd["synchronization"],
+                     100 * bd["context_switch"]))
+        machine = sim.machine
+        print("  protocol: %d read misses, %d write misses, "
+              "%d upgrades, %d invalidations, %d cache-to-cache"
+              % (machine.read_misses, machine.write_misses,
+                 machine.upgrades, machine.invalidations_sent,
+                 machine.dirty_remote_services))
+        print()
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,46 @@
+"""Reproduction of Laudon, Gupta & Horowitz, "Interleaving: A
+Multithreading Technique Targeting Multiprocessors and Workstations"
+(ASPLOS-VI, 1994).
+
+Top-level convenience imports cover the most common entry points; see
+README.md for a tour and DESIGN.md for the system inventory.
+
+    >>> from repro import SystemConfig, WorkstationSimulator, build_workload
+    >>> procs, instances, barriers = build_workload("DC")
+    >>> sim = WorkstationSimulator(procs, scheme="interleaved",
+    ...                            n_contexts=4, config=SystemConfig.fast(),
+    ...                            app_instances=instances, barriers=barriers)
+    >>> result = sim.measure(cycles=120_000, warmup=30_000)
+"""
+
+__version__ = "1.0.0"
+
+from repro.config import (
+    SystemConfig,
+    MultiprocessorParams,
+    PipelineParams,
+    SCHEMES,
+)
+from repro.core import (
+    Processor,
+    Process,
+    WorkstationSimulator,
+    MultiprocessorSimulator,
+    TimelineRecorder,
+)
+from repro.workloads import build_workload, build_app
+
+__all__ = [
+    "__version__",
+    "SystemConfig",
+    "MultiprocessorParams",
+    "PipelineParams",
+    "SCHEMES",
+    "Processor",
+    "Process",
+    "WorkstationSimulator",
+    "MultiprocessorSimulator",
+    "TimelineRecorder",
+    "build_workload",
+    "build_app",
+]

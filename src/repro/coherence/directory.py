@@ -1,0 +1,65 @@
+"""Directory state for the invalidation protocol.
+
+Each memory line has a home node; the home's directory tracks the line in
+one of three states, exactly as in DASH:
+
+* **uncached** — no cache holds it (owner == -1, sharers == 0);
+* **shared** — one or more caches hold clean copies (sharers bitmask);
+* **dirty** — exactly one cache holds a modified copy (owner >= 0).
+
+Sharer bits may be stale (a cache that silently evicted a clean line
+stays in the bitmask until the next invalidation round), which is how
+real sparse directories behave; invalidations to absent lines are
+harmless.  Dirty ownership is always exact, since dirty evictions write
+back through the home.
+"""
+
+
+class DirEntry:
+    __slots__ = ("owner", "sharers")
+
+    def __init__(self):
+        self.owner = -1
+        self.sharers = 0
+
+    @property
+    def is_dirty(self):
+        return self.owner >= 0
+
+    def sharer_list(self):
+        out = []
+        bits = self.sharers
+        node = 0
+        while bits:
+            if bits & 1:
+                out.append(node)
+            bits >>= 1
+            node += 1
+        return out
+
+    def __repr__(self):
+        if self.is_dirty:
+            return "<dirty@%d>" % self.owner
+        if self.sharers:
+            return "<shared:%s>" % self.sharer_list()
+        return "<uncached>"
+
+
+class Directory:
+    """All directory entries of the machine (keyed by line address)."""
+
+    __slots__ = ("entries",)
+
+    def __init__(self):
+        self.entries = {}
+
+    def entry(self, line_addr):
+        e = self.entries.get(line_addr)
+        if e is None:
+            e = DirEntry()
+            self.entries[line_addr] = e
+        return e
+
+    def peek(self, line_addr):
+        """Entry if it exists (no allocation); used by invariant checks."""
+        return self.entries.get(line_addr)

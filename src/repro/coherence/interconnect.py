@@ -1,0 +1,35 @@
+"""Interconnect latency model (paper Table 8).
+
+"Unloaded memory latencies are selected from a uniform distribution
+spanning the ranges given in Table 8 and are based on Stanford DASH
+latencies."  The network itself is contentionless.
+"""
+
+import random
+
+
+class LatencyModel:
+    """Samples unloaded latencies for the three remote access classes."""
+
+    def __init__(self, params, seed=None):
+        self.params = params
+        self.rng = random.Random(params.seed if seed is None else seed)
+        self.samples = {"local": 0, "remote": 0, "remote_cache": 0}
+
+    def local_memory(self):
+        self.samples["local"] += 1
+        return self.rng.randint(*self.params.local_memory)
+
+    def remote_memory(self):
+        self.samples["remote"] += 1
+        return self.rng.randint(*self.params.remote_memory)
+
+    def remote_cache(self):
+        self.samples["remote_cache"] += 1
+        return self.rng.randint(*self.params.remote_cache)
+
+    def memory_latency(self, requester, home):
+        """Latency for a clean miss serviced by ``home``'s memory."""
+        if requester == home:
+            return self.local_memory()
+        return self.remote_memory()

@@ -1,0 +1,39 @@
+"""Core: the multiple-context processor and its context-selection schemes.
+
+This package implements the paper's contribution — the *interleaved*
+multiple-context processor — alongside the *blocked* scheme it is compared
+against and the single-context baseline, plus the simulators that drive
+them in the workstation and multiprocessor environments.
+"""
+
+from repro.core.stats import CycleStats
+from repro.core.context import HardwareContext, Status
+from repro.core.policies import (
+    ContextPolicy,
+    SinglePolicy,
+    BlockedPolicy,
+    InterleavedPolicy,
+    make_policy,
+)
+from repro.core.processor import Processor
+from repro.core.sync import SyncManager
+from repro.core.simulator import WorkstationSimulator, Process
+from repro.core.mpsimulator import MultiprocessorSimulator
+from repro.core.tracing import TimelineRecorder
+
+__all__ = [
+    "CycleStats",
+    "HardwareContext",
+    "Status",
+    "ContextPolicy",
+    "SinglePolicy",
+    "BlockedPolicy",
+    "InterleavedPolicy",
+    "make_policy",
+    "Processor",
+    "SyncManager",
+    "WorkstationSimulator",
+    "Process",
+    "MultiprocessorSimulator",
+    "TimelineRecorder",
+]

@@ -1,0 +1,121 @@
+"""Multiprocessor simulator: N nodes stepped in lockstep.
+
+The paper's multiprocessor study runs each SPLASH application to
+completion of its measured section and reports speedups from adding
+hardware contexts; more contexts per processor means the application is
+partitioned into proportionally more threads (n_nodes × n_contexts).
+"""
+
+from repro.config import MultiprocessorParams, PipelineParams
+from repro.coherence.dsm import DSMachine
+from repro.core.processor import Processor
+from repro.core.simulator import Process, SimulationDeadlock
+from repro.core.sync import SyncManager
+from repro.core.stats import CycleStats
+from repro.pipeline.stalls import Stall
+
+
+class MPResult:
+    """Outcome of one run-to-completion."""
+
+    def __init__(self, cycles, node_stats, machine):
+        self.cycles = cycles
+        self.node_stats = node_stats
+        self.machine = machine
+        merged = CycleStats()
+        for s in node_stats:
+            merged = merged.merged_with(s)
+        self.stats = merged
+
+    def breakdown_fractions(self, categories=None):
+        from repro.pipeline.stalls import MULTIPROCESSOR_CATEGORIES
+        cats = categories or MULTIPROCESSOR_CATEGORIES
+        return self.stats.breakdown_fractions(cats)
+
+
+class MultiprocessorSimulator:
+    """Run a parallel application instance on the DASH-like machine."""
+
+    def __init__(self, app_instance, scheme="interleaved", n_contexts=1,
+                 params=None, pipeline=None, seed=None):
+        self.params = params if params is not None else MultiprocessorParams()
+        self.pipeline = pipeline if pipeline is not None else PipelineParams()
+        self.app = app_instance
+        n_nodes = self.params.n_nodes
+        threads = app_instance.programs
+        if len(threads) != n_nodes * n_contexts:
+            raise ValueError(
+                "app built with %d threads but machine has %d nodes x %d "
+                "contexts" % (len(threads), n_nodes, n_contexts))
+
+        self.machine = DSMachine(self.params, seed=seed)
+        app_instance.load(self.machine.memory)
+        for addr, n_words, node in app_instance.placement:
+            if node != "interleave":
+                self.machine.place(addr, n_words, node)
+
+        self.sync = SyncManager(
+            lock_transfer_latency=self.params.lock_transfer_latency,
+            barrier_release_latency=self.params.barrier_release_latency)
+        for barrier_id, expected in app_instance.barriers.items():
+            self.sync.configure_barrier(barrier_id, expected)
+
+        self.processors = []
+        self.processes = []
+        for node_id in range(n_nodes):
+            proc = Processor(scheme, n_contexts, self.pipeline,
+                             self.machine.nodes[node_id],
+                             self.machine.memory, sync=self.sync,
+                             proc_id=node_id)
+            self.processors.append(proc)
+        for t, program in enumerate(threads):
+            node_id, slot = t // n_contexts, t % n_contexts
+            process = Process("%s.t%d" % (app_instance.name, t), program)
+            self.processes.append(process)
+            self.processors[node_id].load_process(slot, process)
+        self.now = 0
+
+    def run_to_completion(self, max_cycles=50_000_000):
+        """Step all nodes until every thread halts; returns MPResult."""
+        procs = self.processors
+        now = self.now
+        end = now + max_cycles
+        while now < end:
+            if all(p.all_halted() for p in procs):
+                break
+            all_idle = True
+            for p in procs:
+                if not p.step(now):
+                    all_idle = False
+            now += 1
+            if all_idle:
+                now = self._skip_global_idle(now, end)
+        else:
+            raise RuntimeError(
+                "application %r did not finish within %d cycles"
+                % (self.app.name, max_cycles))
+        self.now = now
+        return MPResult(now, [p.stats for p in procs], self.machine)
+
+    def _skip_global_idle(self, now, end):
+        """All processors idle: jump to the earliest machine-wide wake."""
+        infos = []
+        target = None
+        for p in self.processors:
+            info = p.idle_until(now)
+            if info is None:
+                return now  # raced awake (e.g. a lock handoff this cycle)
+            infos.append(info)
+            wake, _ = info
+            if wake is not None and (target is None or wake < target):
+                target = wake
+        if target is None:
+            if all(p.all_halted() for p in self.processors):
+                return now
+            raise SimulationDeadlock(
+                "all processors blocked on external events at cycle %d"
+                % now)
+        target = min(target, end)
+        for p, (wake, reason) in zip(self.processors, infos):
+            p.skip_idle(now, target, reason)
+        return target

@@ -1,0 +1,421 @@
+"""The multiple-context processor timing model.
+
+One :class:`Processor` owns up to N hardware contexts, a scoreboard, a
+BTB, and a context-selection policy, and issues at most one instruction
+per cycle into the Figure 5 pipeline.  Timing is modelled at issue
+granularity with three mechanisms that together reproduce the paper's
+switch-cost behaviour exactly (Table 4):
+
+**Doomed window** (cache-miss squash).  A memory operation's hit/miss
+outcome is architecturally visible only at the WB stage, 6 cycles after
+issue.  When a miss is detected, every instruction the offending context
+issued in the window (including the memory op itself) is squashed and
+re-executed after the fill.  Under the blocked scheme the context owns
+every slot of the window — 7 lost cycles, the pipeline depth; under the
+interleaved scheme it owns only its round-robin share — 1..7 slots,
+usually 2-3.  Squashed slots are charged to the context-switch category.
+
+**Processor-wide stall window.**  Blocking events that freeze the whole
+front end — instruction-cache misses (the paper's I-cache is blocking and
+never causes a context switch) and the tail of the blocked scheme's
+3-cycle explicit-switch instruction — park the processor until a given
+cycle with a fixed stall category.
+
+**Stall-on-use** (single-context baseline).  With one context the lockup-
+free cache lets execution continue past a load miss until a consumer
+needs the value; the scoreboard's register ready-time is simply pushed
+out to the fill-completion cycle.
+"""
+
+from repro.isa.opcodes import Op
+from repro.isa.executor import execute
+from repro.pipeline.btb import BranchTargetBuffer
+from repro.pipeline.scoreboard import Scoreboard
+from repro.pipeline.stalls import Stall
+from repro.core.context import HardwareContext, Status
+from repro.core.stats import CycleStats
+from repro.core.policies import make_policy, idle_wake_info
+
+
+class Processor:
+    """An N-context processor attached to a memory system."""
+
+    def __init__(self, scheme, n_contexts, pipeline_params, memsys,
+                 memory, sync=None, proc_id=0):
+        self.scheme = scheme
+        self.pp = pipeline_params
+        self.policy = make_policy(scheme, n_contexts, pipeline_params)
+        self.contexts = [HardwareContext(i) for i in range(n_contexts)]
+        self.scoreboard = Scoreboard(n_contexts)
+        self.btb = BranchTargetBuffer(pipeline_params.btb_entries)
+        self.memsys = memsys
+        self.memory = memory          # functional memory (shared image)
+        self.sync = sync
+        self.proc_id = proc_id
+        self.stats = CycleStats()
+        self.stall_until = 0
+        self.stall_category = Stall.ICACHE
+        #: Optional hook fired when a context executes HALT; the
+        #: workstation simulator uses it to restart finite processes for
+        #: continuous throughput measurement.
+        self.on_halt = None
+        #: Optional per-slot trace hook ``fn(cycle, ctx_or_None, kind)``
+        #: with kind in {"busy", "squash", "stall", "idle"}; used by the
+        #: Figure 2/3 trace reproductions.  None (the default) is free.
+        self.trace = None
+
+    # -- process management ----------------------------------------------------
+
+    def load_process(self, slot, process):
+        """Put ``process`` on hardware context ``slot``."""
+        ctx = self.contexts[slot]
+        ctx.load(process)
+        self.scoreboard.clear_context(slot)
+        return ctx
+
+    def unload_process(self, slot):
+        self.contexts[slot].unload()
+        self.scoreboard.clear_context(slot)
+
+    def all_halted(self):
+        return all(c.status in (Status.HALTED, Status.EMPTY)
+                   for c in self.contexts)
+
+    # -- simulation interface ----------------------------------------------------
+
+    def step(self, now):
+        """Simulate one cycle; returns True when the cycle was idle.
+
+        With ``issue_width > 1`` (the Section 7 in-order multi-issue
+        extension) each cycle offers several issue slots; every slot is
+        accounted separately, so utilisation and breakdown fractions are
+        per-slot.  A processor-wide stall (blocking I-miss, TLB refill,
+        blocked-scheme switch tail) wastes all of a cycle's slots.
+        """
+        stats = self.stats
+        width = self.pp.issue_width
+        if now < self.stall_until:
+            stats.add(self.stall_category, width)
+            if self.trace is not None:
+                self.trace(now, None, "stall")
+            return False
+        self._update_contexts(now)
+        idle = True
+        for _slot in range(width):
+            ctx = self.policy.select(self.contexts, now)
+            if ctx is None:
+                _, reason = idle_wake_info(self.contexts)
+                stats.add(reason)
+                if self.trace is not None:
+                    self.trace(now, None, "idle")
+                continue
+            idle = False
+            if ctx.status is Status.DOOMED:
+                ctx.doomed_count += 1
+                stats.add(Stall.SWITCH)
+                stats.squashed += 1
+                if self.trace is not None:
+                    self.trace(now, ctx, "squash")
+                continue
+            retired_before = stats.retired
+            squashed_before = stats.squashed
+            self._try_issue(ctx, now)
+            if self.trace is not None:
+                if stats.squashed != squashed_before:
+                    kind = "squash"   # the memory op's own doomed slot
+                elif stats.retired != retired_before:
+                    kind = "busy"
+                else:
+                    kind = "stall"
+                self.trace(now, ctx, kind)
+            if now < self.stall_until:
+                # The slot froze the front end (I-miss / TLB refill /
+                # switch tail): the cycle's remaining slots are lost.
+                remaining = width - _slot - 1
+                if remaining:
+                    stats.add(self.stall_category, remaining)
+                break
+        return idle
+
+    def idle_until(self, now):
+        """(wake_cycle, reason) when nothing can issue before wake_cycle.
+
+        Returns None when the processor has work this cycle.  A wake_cycle
+        of None means the processor can only be woken externally (lock or
+        barrier release from another processor) or is fully halted.
+        """
+        if now < self.stall_until:
+            return self.stall_until, self.stall_category
+        self._update_contexts(now)
+        for ctx in self.contexts:
+            if ctx.status is Status.RUNNING or ctx.status is Status.DOOMED:
+                return None
+        return idle_wake_info(self.contexts)
+
+    def skip_idle(self, now, target, reason):
+        """Account an idle jump from ``now`` to ``target``."""
+        if target > now:
+            self.stats.add(reason, target - now)
+
+    # -- internals ---------------------------------------------------------------
+
+    def _update_contexts(self, now):
+        for ctx in self.contexts:
+            status = ctx.status
+            if status is Status.WAITING:
+                if ctx.wake_at <= now:
+                    ctx.status = Status.RUNNING
+            elif status is Status.DOOMED and now >= ctx.doomed_detect:
+                # WB-stage miss determination: squash and go unavailable.
+                self.stats.context_switches += 1
+                ctx.wait_until(max(ctx.doomed_completion, now), Stall.DCACHE)
+                ctx.fetch_valid = False
+                if ctx.wake_at <= now:
+                    ctx.status = Status.RUNNING
+
+    def _enter_doomed(self, ctx, result, now):
+        """A late-detected memory stall: squash-window entry (Table 4).
+
+        When the fill completes the context re-issues the memory op,
+        which is satisfied directly from the MSHR fill data (no cache
+        re-probe — see :attr:`HardwareContext.satisfied_pc`).
+        """
+        self.stats.add(Stall.SWITCH)
+        self.stats.squashed += 1
+        self._end_run(ctx)
+        ctx.enter_doomed(now + self.pp.miss_detect_offset + 1, result.ready)
+        ctx.doomed_count = 1
+        ctx.satisfied_pc = ctx.state.pc
+
+    def _end_run(self, ctx):
+        """The context is leaving the available pool: record the
+        runlength (paper Section 5.1)."""
+        if ctx.run_instructions:
+            self.stats.end_run(ctx.run_instructions)
+            ctx.run_instructions = 0
+
+    def _pay_off_cost(self, now):
+        """Charge the tail of an explicit switch/backoff (Table 4).
+
+        The instruction's own slot is charged by the caller; the blocked
+        scheme's explicit switch costs 3 cycles total, so two more slots
+        freeze the processor.
+        """
+        extra = self.policy.off_cost - 1
+        if extra > 0:
+            self.stall_until = now + 1 + extra
+            self.stall_category = Stall.SWITCH
+
+    def _retire(self, ctx, inst, now):
+        """Functionally execute and commit ``inst`` for ``ctx``."""
+        state = ctx.state
+        execute(state, inst, self.memory)
+        self.scoreboard.issue(ctx.cid, inst, now)
+        stats = self.stats
+        stats.add(Stall.BUSY)
+        stats.issued += 1
+        stats.retired += 1
+        ctx.run_instructions += 1
+        if ctx.process is not None:
+            ctx.process.retired += 1
+        ctx.fetch_valid = False
+        if state.halted:
+            self._end_run(ctx)
+            ctx.status = Status.HALTED
+            if ctx.process is not None:
+                ctx.process.finished_at = now
+            if self.on_halt is not None:
+                self.on_halt(ctx, now)
+
+    def _try_issue(self, ctx, now):
+        stats = self.stats
+        if now < ctx.next_issue_min:
+            # Redirect bubble after a branch mispredict.
+            stats.add(Stall.INST_SHORT)
+            return
+        state = ctx.state
+        pc = state.pc
+        inst = ctx.program.instructions[pc]
+
+        # Instruction fetch (once per instruction instance).
+        fetch_addr = ctx.program.code_base + 4 * pc
+        if not (ctx.fetch_valid and ctx.fetch_pc == pc):
+            res = self.memsys.inst_fetch(fetch_addr, now)
+            ctx.fetch_pc = pc
+            ctx.fetch_valid = True
+            if res.level != "l1":
+                # Blocking I-cache: the whole processor stalls, and no
+                # context switch happens (paper Section 4.1).
+                stats.add(Stall.ICACHE)
+                self.stall_until = res.ready
+                self.stall_category = Stall.ICACHE
+                return
+
+        # Register / functional-unit hazards.
+        until, kind = self.scoreboard.hazard_until(ctx.cid, inst, now)
+        if until > now:
+            if kind == "memory":
+                stats.add(Stall.DCACHE)
+            elif until - now <= self.pp.short_stall_threshold:
+                stats.add(Stall.INST_SHORT)
+            else:
+                stats.add(Stall.INST_LONG)
+            return
+
+        op = inst.op
+        info = inst.info
+
+        if info.is_load or info.is_store:
+            self._issue_memory(ctx, inst, now)
+        elif info.is_prefetch:
+            self._issue_prefetch(ctx, inst, now)
+        elif op is Op.LOCK:
+            self._issue_lock(ctx, inst, now)
+        elif op is Op.UNLOCK:
+            self._issue_unlock(ctx, inst, now)
+        elif op is Op.BARRIER:
+            self._issue_barrier(ctx, inst, now)
+        elif op is Op.BACKOFF:
+            self._issue_backoff(ctx, inst, now)
+        elif op is Op.SWITCH:
+            self._issue_switch(ctx, inst, now)
+        else:
+            self._retire(ctx, inst, now)
+            if info.is_branch or info.is_jump:
+                self._resolve_control(ctx, inst, fetch_addr, now)
+
+    def _access_satisfied(self, ctx, inst, now):
+        """Perform the timing access for a memory op; True when usable.
+
+        Covers the MSHR-forwarding retry (a previously doomed/stalled
+        access whose fill completed), the inline software TLB refill
+        (which freezes the whole pipeline — the handler's instructions
+        occupy it, so no scheme can switch over it), and the
+        scheme-specific miss behaviour.
+        """
+        if ctx.satisfied_pc == ctx.state.pc:
+            # Re-issue after the fill: data forwarded from the MSHR.
+            ctx.satisfied_pc = -1
+            return True
+        addr = ctx.state.regs[inst.rs1] + inst.imm
+        res = self.memsys.data_access(addr, inst.info.is_store or
+                                      inst.op in (Op.LOCK, Op.UNLOCK),
+                                      now, self.proc_id)
+        if res.level == "l1":
+            return True
+        if res.level == "tlb":
+            # Software-refilled TLB: the handler runs in-line and
+            # occupies the pipeline for every scheme.
+            self.stats.add(Stall.DCACHE)
+            self.stall_until = res.ready
+            self.stall_category = Stall.DCACHE
+            return False
+        if res.level == "mshr":
+            # Structural stall: all MSHRs busy; retry when one frees.
+            self.stats.add(Stall.DCACHE)
+            ctx.wait_until(res.ready, Stall.DCACHE)
+            return False
+        if self.policy.uses_doomed_window:
+            self._enter_doomed(ctx, res, now)
+            return False
+        # Single-context baseline.
+        if inst.info.is_load and inst.writes >= 0:
+            # Stall-on-use: commit now, data arrives at res.ready.
+            self._retire(ctx, inst, now)
+            self.scoreboard.set_ready(ctx.cid, inst.writes, res.ready,
+                                      memory=True)
+            return False   # already retired
+        if inst.info.is_store:
+            # Write-allocate store miss completes in the background.
+            self._retire(ctx, inst, now)
+            return False
+        # LOCK/UNLOCK on the baseline: wait for the line, then operate.
+        self.stats.add(Stall.DCACHE)
+        ctx.wait_until(res.ready, Stall.DCACHE)
+        ctx.satisfied_pc = ctx.state.pc
+        return False
+
+    def _issue_memory(self, ctx, inst, now):
+        if self._access_satisfied(ctx, inst, now):
+            self._retire(ctx, inst, now)
+
+    def _issue_prefetch(self, ctx, inst, now):
+        """Non-binding prefetch: start the fill, never stall or squash.
+
+        The line lands in the cache (and an MSHR tracks it) so a timely
+        later load hits or merges; a useless prefetch costs only its
+        issue slot and cache traffic — exactly the software-prefetch
+        trade the paper's introduction describes.  A prefetch that
+        misses the TLB is dropped (it refills the TLB entry but fetches
+        no line), like real non-faulting prefetches.
+        """
+        addr = ctx.state.regs[inst.rs1] + inst.imm
+        self.memsys.data_access(addr, False, now, self.proc_id)
+        self._retire(ctx, inst, now)
+
+    def _issue_lock(self, ctx, inst, now):
+        if not self._access_satisfied(ctx, inst, now):
+            return
+        addr = ctx.state.regs[inst.rs1] + inst.imm
+        if self.sync.try_acquire(addr, self, ctx):
+            self._retire(ctx, inst, now)
+            return
+        # Lock held elsewhere: leave the processor until handoff.
+        if self.policy.off_cost > 0:
+            self.stats.add(Stall.SWITCH)
+            self._pay_off_cost(now)
+        else:
+            self.stats.add(Stall.SYNC)
+        self._end_run(ctx)
+        ctx.wait_on_lock(addr)
+        ctx.fetch_valid = False
+
+    def _issue_unlock(self, ctx, inst, now):
+        if not self._access_satisfied(ctx, inst, now):
+            return
+        addr = ctx.state.regs[inst.rs1] + inst.imm
+        self.sync.release(addr, self, ctx, now)
+        self._retire(ctx, inst, now)
+
+    def _issue_barrier(self, ctx, inst, now):
+        released = self.sync.barrier_arrive(inst.imm, self, ctx, now)
+        self._retire(ctx, inst, now)
+        if not released:
+            if self.policy.off_cost > 0:
+                self._pay_off_cost(now)
+            self._end_run(ctx)
+            ctx.wait_on_lock(None, Stall.SYNC)
+            ctx.fetch_valid = False
+
+    def _issue_backoff(self, ctx, inst, now):
+        if self.policy.off_cost == 0:
+            # The single-context baseline treats the hint as a NOP.
+            self._retire(ctx, inst, now)
+            return
+        execute(ctx.state, inst, self.memory)   # just advances the PC
+        self.stats.add(Stall.SWITCH)
+        self.stats.issued += 1
+        self.stats.backoffs += 1
+        self._pay_off_cost(now)
+        self._end_run(ctx)
+        ctx.wait_until(now + 1 + inst.imm, Stall.INST_LONG)
+        ctx.fetch_valid = False
+
+    def _issue_switch(self, ctx, inst, now):
+        if self.policy.name != "blocked":
+            self._retire(ctx, inst, now)
+            return
+        execute(ctx.state, inst, self.memory)
+        self.stats.add(Stall.SWITCH)
+        self.stats.issued += 1
+        self._pay_off_cost(now)
+        self.policy.force_switch(self.contexts)
+        ctx.fetch_valid = False
+
+    def _resolve_control(self, ctx, inst, fetch_addr, now):
+        predicted = self.btb.predict(fetch_addr)
+        actual = ctx.state.pc          # already updated by execute()
+        correct = self.btb.resolve(fetch_addr, predicted, actual,
+                                   inst.index + 1)
+        if not correct:
+            ctx.next_issue_min = now + 1 + self.pp.mispredict_penalty

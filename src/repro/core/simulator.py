@@ -1,0 +1,199 @@
+"""Workstation (uniprocessor) simulator with the OS scheduler model.
+
+Section 4.3 of the paper: a 30 ms time slice (six million cycles at
+200 MHz — scaled in the fast profile), an affinity mechanism that keeps a
+group of N processes resident for three time slices each, and scheduler
+cache interference per Table 6.  The scheduler itself runs in negligible
+time; its only modelled effect is the cache pollution.
+"""
+
+import random
+
+from repro.isa.executor import ArchState, Memory
+from repro.config import SystemConfig
+from repro.memory.hierarchy import MemorySystem
+from repro.core.processor import Processor
+from repro.core.sync import SyncManager
+from repro.core.context import Status
+from repro.pipeline.stalls import Stall
+
+
+class Process:
+    """A software process: a program plus its persistent register state."""
+
+    __slots__ = ("name", "program", "state", "retired", "finished_at",
+                 "pid", "completions")
+
+    def __init__(self, name, program, pid=0):
+        self.name = name
+        self.program = program
+        self.state = ArchState(entry=program.entry)
+        self.retired = 0
+        self.finished_at = None
+        self.pid = pid
+        #: Times the program ran to HALT (restart-on-halt mode).
+        self.completions = 0
+
+    def __repr__(self):
+        return "<Process %s retired=%d>" % (self.name, self.retired)
+
+
+class SimulationDeadlock(RuntimeError):
+    """All contexts wait on events that can never fire."""
+
+
+class RunResult:
+    """Outcome of one measured window."""
+
+    def __init__(self, duration, stats, per_process):
+        self.duration = duration
+        self.stats = stats
+        #: process name -> instructions retired during the window
+        self.per_process = per_process
+
+    def rate(self, name):
+        return self.per_process[name] / self.duration
+
+    def total_ipc(self):
+        return sum(self.per_process.values()) / self.duration
+
+
+class WorkstationSimulator:
+    """One multiple-context processor running a multiprogrammed mix."""
+
+    def __init__(self, processes, scheme="interleaved", n_contexts=1,
+                 config=None, seed=1994, app_instances=(), barriers=None,
+                 restart_halted=True):
+        if not processes:
+            raise ValueError("need at least one process")
+        self.config = config if config is not None else SystemConfig.fast()
+        self.processes = list(processes)
+        for pid, p in enumerate(self.processes):
+            p.pid = pid
+        self.memory = Memory()
+        for p in self.processes:
+            p.program.load(self.memory)
+        for instance in app_instances:
+            # SPLASH uniprocessor members bring shared data of their own.
+            instance.load(self.memory)
+        self.memsys = MemorySystem(self.config.memory)
+        self.sync = SyncManager()
+        for barrier_id, expected in (barriers or {}).items():
+            self.sync.configure_barrier(barrier_id, expected)
+        self.n_contexts = n_contexts
+        self.processor = Processor(scheme, n_contexts,
+                                   self.config.pipeline, self.memsys,
+                                   self.memory, sync=self.sync)
+        if restart_halted:
+            self.processor.on_halt = self._restart_process
+        self.rng = random.Random(seed)
+        self.now = 0
+        self._next_resident = 0     # index of the next process to schedule
+        self._slices_elapsed = 0
+        self._load_group()
+
+    # -- scheduling ------------------------------------------------------------
+
+    def _restart_process(self, ctx, now):
+        """Restart a finished process for continuous throughput runs."""
+        process = ctx.process
+        process.completions += 1
+        process.state.pc = process.program.entry
+        process.state.halted = False
+        ctx.status = Status.RUNNING
+        ctx.fetch_valid = False
+
+    def _load_group(self):
+        """Load the next group of N processes onto the hardware contexts.
+
+        Default policy is round-robin rotation.  With the paper's
+        context-usage feedback enabled, the scheduler instead picks the
+        N least-served processes (by retired instructions), evening out
+        the cycles each application receives — the countermeasure to the
+        blocked scheme's bias toward low-miss-rate applications.
+        """
+        n = min(self.n_contexts, len(self.processes))
+        total = len(self.processes)
+        if self.config.os.usage_feedback:
+            group = sorted(self.processes,
+                           key=lambda p: (p.retired, p.pid))[:n]
+        else:
+            group = [self.processes[(self._next_resident + slot) % total]
+                     for slot in range(n)]
+            self._next_resident = (self._next_resident + n) % total
+        for slot, proc in enumerate(group):
+            self.processor.load_process(slot, proc)
+        # More hardware contexts than processes: the extras stay empty
+        # (loading one process onto two contexts would alias its state).
+        for slot in range(n, self.n_contexts):
+            self.processor.unload_process(slot)
+
+    def _scheduler_interrupt(self):
+        """Called every time slice; swaps groups at affinity boundaries."""
+        self._slices_elapsed += 1
+        os_params = self.config.os
+        residency = os_params.affinity_slices * self.n_contexts
+        if len(self.processes) <= self.n_contexts:
+            # Everything fits in hardware: nothing to swap, no pollution
+            # ("the number of processes switched will either be zero or
+            # the number of hardware contexts supported").
+            return
+        if self._slices_elapsed % residency:
+            return
+        for slot in range(self.n_contexts):
+            self.processor.unload_process(slot)
+        self._load_group()
+        self.processor.policy.reset()
+        self.memsys.scheduler_interference(self.n_contexts, os_params,
+                                           self.rng)
+
+    # -- running ------------------------------------------------------------------
+
+    def run(self, cycles):
+        """Advance the machine by ``cycles`` cycles."""
+        proc = self.processor
+        now = self.now
+        end = now + cycles
+        slice_len = self.config.os.time_slice
+        next_interrupt = ((now // slice_len) + 1) * slice_len
+        while now < end:
+            if now >= next_interrupt:
+                self._scheduler_interrupt()
+                next_interrupt += slice_len
+            idle = proc.idle_until(now)
+            if idle is not None:
+                wake, reason = idle
+                if wake is None:
+                    if reason is Stall.IDLE:
+                        # Everything halted: idle out the window.
+                        proc.skip_idle(now, end, Stall.IDLE)
+                        now = end
+                        break
+                    raise SimulationDeadlock(
+                        "all contexts blocked on %s with nothing running"
+                        % reason.name)
+                target = min(wake, end, next_interrupt)
+                if target > now:
+                    proc.skip_idle(now, target, reason)
+                    now = target
+                    continue
+            proc.step(now)
+            now += 1
+        self.now = now
+
+    def measure(self, cycles, warmup=0):
+        """Warm up, then measure a window; returns a :class:`RunResult`.
+
+        Mirrors the paper's methodology: "each application in the workload
+        was run for a time slice before simulation statistics are
+        gathered" so caches are loaded and initialisation is excluded.
+        """
+        if warmup:
+            self.run(warmup)
+        stats_before = self.processor.stats.snapshot()
+        retired_before = {p.name: p.retired for p in self.processes}
+        self.run(cycles)
+        stats = self.processor.stats.delta_since(stats_before)
+        per_process = {p.name: p.retired - retired_before[p.name]
+                       for p in self.processes}
+        return RunResult(cycles, stats, per_process)

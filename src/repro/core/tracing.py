@@ -1,0 +1,60 @@
+"""Issue-slot trace recording.
+
+The processor's ``trace`` hook fires once per issue slot with
+``(cycle, context_or_None, kind)``; :class:`TimelineRecorder` collects
+those events into the paper's Figure 3 notation — one character per
+slot: the context's letter for an issued instruction, the lowercase
+letter for a squashed slot, ``.`` for a stall or idle slot.
+"""
+
+
+class TimelineRecorder:
+    """Collects per-slot events into a printable timeline."""
+
+    def __init__(self):
+        self.events = []          # (cycle, ctx_name_or_None, kind)
+
+    def __call__(self, cycle, ctx, kind):
+        name = ctx.process.name if (ctx is not None
+                                    and ctx.process is not None) else None
+        self.events.append((cycle, name, kind))
+
+    def attach(self, processor):
+        """Install on a processor; returns self for chaining."""
+        processor.trace = self
+        return self
+
+    # -- rendering ----------------------------------------------------------
+
+    @staticmethod
+    def _cell(name, kind):
+        if kind == "busy" and name:
+            return name[0].upper()
+        if kind == "squash" and name:
+            return name[0].lower()
+        return "."
+
+    def lane(self):
+        """One character per slot, in event order."""
+        return "".join(self._cell(name, kind)
+                       for _, name, kind in self.events)
+
+    def per_context_lanes(self):
+        """{context_letter: lane} with '.' where others own the slot."""
+        names = sorted({n[0].upper() for _, n, _ in self.events if n})
+        lanes = {n: [] for n in names}
+        for _, name, kind in self.events:
+            cell = self._cell(name, kind)
+            for n in names:
+                lanes[n].append(cell if cell.upper() == n else ".")
+        return {n: "".join(cells) for n, cells in lanes.items()}
+
+    def slot_counts(self):
+        """{kind: count} over all recorded slots."""
+        counts = {}
+        for _, _, kind in self.events:
+            counts[kind] = counts.get(kind, 0) + 1
+        return counts
+
+    def __len__(self):
+        return len(self.events)

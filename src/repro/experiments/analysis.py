@@ -1,0 +1,128 @@
+"""Whole-system analysis of one simulation run.
+
+Gathers every counter the substrates keep — cache and TLB miss rates,
+BTB accuracy, bus/bank utilisation, MSHR behaviour, runlengths, per-slot
+breakdown, coherence-protocol traffic — into one structured report.
+This is the "why" behind a throughput number: the paper's discussion
+sections reason exactly in these terms (miss rates, runlengths, switch
+overheads).
+"""
+
+from repro.experiments.report import render_table
+
+
+def _pct(x):
+    return "%.1f%%" % (100.0 * x)
+
+
+def analyze_workstation(sim, result=None):
+    """Analysis dict for a WorkstationSimulator (after a measure())."""
+    m = sim.memsys
+    proc = sim.processor
+    stats = result.stats if result is not None else proc.stats
+    elapsed = max(1, sim.now)
+    banks_busy = sum(b.total_busy for b in m.banks)
+    return {
+        "scheme": proc.scheme,
+        "n_contexts": len(proc.contexts),
+        "cycles": stats.total_cycles,
+        "ipc": stats.ipc(),
+        "utilization": stats.utilization(),
+        "breakdown": stats.breakdown_fractions(),
+        "l1i_miss_rate": m.l1i.miss_rate,
+        "l1d_miss_rate": m.l1d.miss_rate,
+        "l2_miss_rate": m.l2.miss_rate,
+        "l1d_writebacks": m.l1d.writebacks,
+        "tlb_miss_rate": m.dtlb.miss_rate,
+        "btb_accuracy": proc.btb.accuracy,
+        "bus_utilization": (m.bus_req.utilization(elapsed)
+                            + m.bus_reply.utilization(elapsed)),
+        "bank_utilization": banks_busy / (len(m.banks) * elapsed),
+        "mshr_merges": m.mshr.merges,
+        "mshr_structural_stalls": m.mshr.structural_stalls,
+        "mean_runlength": stats.mean_runlength(),
+        "context_switches": stats.context_switches,
+        "squashed_slots": stats.squashed,
+        "backoffs": stats.backoffs,
+    }
+
+
+def analyze_multiprocessor(sim, result):
+    """Analysis dict for a MultiprocessorSimulator run."""
+    machine = sim.machine
+    stats = result.stats
+    per_node_busy = [s.utilization() for s in result.node_stats]
+    accesses = max(1, machine.read_misses + machine.write_misses
+                   + sum(n.cache.hits for n in machine.nodes))
+    return {
+        "cycles": result.cycles,
+        "utilization": stats.utilization(),
+        "breakdown": stats.breakdown_fractions(),
+        "node_utilization_min": min(per_node_busy),
+        "node_utilization_max": max(per_node_busy),
+        "read_misses": machine.read_misses,
+        "write_misses": machine.write_misses,
+        "upgrades": machine.upgrades,
+        "invalidations": machine.invalidations_sent,
+        "cache_to_cache": machine.dirty_remote_services,
+        "miss_rate": ((machine.read_misses + machine.write_misses)
+                      / accesses),
+        "latency_samples": dict(machine.latency.samples),
+        "lock_acquires": sim.sync.lock_acquires,
+        "lock_contentions": sim.sync.lock_contentions,
+        "barrier_episodes": sim.sync.barrier_episodes,
+        "mean_runlength": stats.mean_runlength(),
+        "squashed_slots": stats.squashed,
+    }
+
+
+def render_workstation(analysis):
+    rows = [
+        ("configuration", ["%s, %d contexts" % (analysis["scheme"],
+                                                analysis["n_contexts"])]),
+        ("IPC", ["%.3f" % analysis["ipc"]]),
+        ("utilization", [_pct(analysis["utilization"])]),
+        ("L1I / L1D / L2 miss", ["%s / %s / %s" % (
+            _pct(analysis["l1i_miss_rate"]),
+            _pct(analysis["l1d_miss_rate"]),
+            _pct(analysis["l2_miss_rate"]))]),
+        ("TLB miss", [_pct(analysis["tlb_miss_rate"])]),
+        ("BTB accuracy", [_pct(analysis["btb_accuracy"])]),
+        ("bus / bank utilization", ["%s / %s" % (
+            _pct(analysis["bus_utilization"]),
+            _pct(analysis["bank_utilization"]))]),
+        ("MSHR merges / stalls", ["%d / %d" % (
+            analysis["mshr_merges"],
+            analysis["mshr_structural_stalls"])]),
+        ("mean runlength", ["%.1f" % analysis["mean_runlength"]]),
+        ("switches / squashed", ["%d / %d" % (
+            analysis["context_switches"],
+            analysis["squashed_slots"])]),
+    ]
+    return render_table("Workstation run analysis", ["value"], rows,
+                        col_width=24)
+
+
+def render_multiprocessor(analysis):
+    rows = [
+        ("cycles", [analysis["cycles"]]),
+        ("utilization", [_pct(analysis["utilization"])]),
+        ("node util (min/max)", ["%s / %s" % (
+            _pct(analysis["node_utilization_min"]),
+            _pct(analysis["node_utilization_max"]))]),
+        ("miss rate", [_pct(analysis["miss_rate"])]),
+        ("read / write misses", ["%d / %d" % (
+            analysis["read_misses"], analysis["write_misses"])]),
+        ("upgrades / invalidations", ["%d / %d" % (
+            analysis["upgrades"], analysis["invalidations"])]),
+        ("cache-to-cache transfers", [analysis["cache_to_cache"]]),
+        ("latency samples l/r/rc", ["%d / %d / %d" % (
+            analysis["latency_samples"].get("local", 0),
+            analysis["latency_samples"].get("remote", 0),
+            analysis["latency_samples"].get("remote_cache", 0))]),
+        ("lock acquires / contended", ["%d / %d" % (
+            analysis["lock_acquires"], analysis["lock_contentions"])]),
+        ("barrier episodes", [analysis["barrier_episodes"]]),
+    ]
+    return render_table("Multiprocessor run analysis", ["value"], rows,
+                        col_width=24)

@@ -1,0 +1,148 @@
+"""Command-line entry point: regenerate any table or figure.
+
+Usage::
+
+    interleaving-experiments figure3
+    interleaving-experiments table7
+    interleaving-experiments all
+"""
+
+import argparse
+import sys
+import time
+
+from repro.experiments import (
+    figure2,
+    figure3,
+    table4,
+    table7,
+    figures6_7,
+    table10,
+    figures8_9,
+    configs,
+)
+from repro.experiments.runner import ExperimentContext
+
+
+def _uniproc(ctx):
+    print(table7.render(table7.run(ctx)))
+    print()
+    print(figures6_7.render(figures6_7.run(ctx, scheme="blocked"),
+                            scheme="blocked"))
+    print()
+    print(figures6_7.render(figures6_7.run(ctx, scheme="interleaved"),
+                            scheme="interleaved"))
+
+
+def _mp(ctx):
+    print(table10.render(table10.run(ctx)))
+    print()
+    print(figures8_9.render(figures8_9.run(ctx, scheme="blocked"),
+                            scheme="blocked"))
+    print()
+    print(figures8_9.render(figures8_9.run(ctx, scheme="interleaved"),
+                            scheme="interleaved"))
+
+
+def _summary(ctx):
+    from repro.experiments import summary
+    print(summary.render(ctx=ctx))
+
+
+def _analyze(ctx):
+    """Deep-dive analysis of a representative run of each environment."""
+    from repro.experiments import analysis
+    run = ctx.uniproc_run("DC", "interleaved", 4)
+    print(analysis.render_workstation(
+        analysis.analyze_workstation(run.simulator, run.result)))
+    print()
+    from repro.core.mpsimulator import MultiprocessorSimulator
+    from repro.workloads.splash import build_app
+    app = build_app("mp3d", n_threads=ctx.mp_params.n_nodes * 4,
+                    threads_per_node=4)
+    sim = MultiprocessorSimulator(app, scheme="interleaved",
+                                  n_contexts=4, params=ctx.mp_params,
+                                  seed=ctx.seed)
+    result = sim.run_to_completion()
+    print(analysis.render_multiprocessor(
+        analysis.analyze_multiprocessor(sim, result)))
+
+
+def _export(ctx):
+    """Run the core tables and dump every memoised run as JSON."""
+    from repro.experiments import export
+    table7.run(ctx)
+    table10.run(ctx)
+    path = export.write_json("results.json", export.context_to_dict(ctx))
+    print("wrote %s" % path)
+
+
+EXPERIMENTS = {
+    "summary": _summary,
+    "analyze": _analyze,
+    "export": _export,
+    "configs": lambda ctx: print(configs.render_all()),
+    "figure2": lambda ctx: print(figure2.render()),
+    "figure3": lambda ctx: print(figure3.render()),
+    "table4": lambda ctx: print(table4.render()),
+    "table7": lambda ctx: print(table7.render(table7.run(ctx))),
+    "figure6": lambda ctx: print(figures6_7.render(
+        figures6_7.run(ctx, scheme="blocked"), scheme="blocked")),
+    "figure7": lambda ctx: print(figures6_7.render(
+        figures6_7.run(ctx, scheme="interleaved"), scheme="interleaved")),
+    "table10": lambda ctx: print(table10.render(table10.run(ctx))),
+    "figure8": lambda ctx: print(figures8_9.render(
+        figures8_9.run(ctx, scheme="blocked"), scheme="blocked")),
+    "figure9": lambda ctx: print(figures8_9.render(
+        figures8_9.run(ctx, scheme="interleaved"), scheme="interleaved")),
+    "uniprocessor": _uniproc,
+    "multiprocessor": _mp,
+}
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        description="Regenerate the paper's tables and figures.")
+    parser.add_argument("experiment",
+                        choices=sorted(EXPERIMENTS) + ["all"],
+                        help="which table/figure to regenerate")
+    parser.add_argument("--profile", choices=("fast", "paper"),
+                        default="fast",
+                        help="machine profile (paper = full-size caches; "
+                             "orders of magnitude slower)")
+    parser.add_argument("--nodes", type=int, default=None,
+                        help="multiprocessor node count (default 8)")
+    parser.add_argument("--measure", type=int, default=None,
+                        help="uniprocessor measurement window, cycles")
+    parser.add_argument("--warmup", type=int, default=None,
+                        help="uniprocessor warmup, cycles")
+    parser.add_argument("--seed", type=int, default=1994)
+    args = parser.parse_args(argv)
+
+    from repro.config import SystemConfig, MultiprocessorParams
+    config = (SystemConfig.paper() if args.profile == "paper"
+              else SystemConfig.fast())
+    kwargs = {"config": config, "seed": args.seed}
+    if args.nodes is not None:
+        kwargs["mp_params"] = MultiprocessorParams(n_nodes=args.nodes)
+    if args.measure is not None:
+        kwargs["measure"] = args.measure
+    if args.warmup is not None:
+        kwargs["warmup"] = args.warmup
+    ctx = ExperimentContext(**kwargs)
+    t0 = time.time()
+    if args.experiment == "all":
+        for name in ("configs", "figure2", "figure3", "table4"):
+            EXPERIMENTS[name](ctx)
+            print()
+        _uniproc(ctx)
+        print()
+        _mp(ctx)
+    else:
+        EXPERIMENTS[args.experiment](ctx)
+    print("\n[%.1f s]" % (time.time() - t0), file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

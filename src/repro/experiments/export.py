@@ -1,0 +1,75 @@
+"""Structured (JSON) export of experiment results.
+
+Downstream analysis (plotting, regression tracking) wants numbers, not
+rendered tables; this module turns stats objects and experiment results
+into plain dictionaries and writes them as JSON.
+"""
+
+import json
+
+from repro.pipeline.stalls import Stall
+
+
+def stats_to_dict(stats):
+    """A CycleStats as a plain dictionary."""
+    return {
+        "cycles": stats.total_cycles,
+        "retired": stats.retired,
+        "issued": stats.issued,
+        "squashed": stats.squashed,
+        "context_switches": stats.context_switches,
+        "backoffs": stats.backoffs,
+        "utilization": stats.utilization(),
+        "ipc": stats.ipc(),
+        "mean_runlength": stats.mean_runlength(),
+        "slots": {Stall(i).name.lower(): count
+                  for i, count in enumerate(stats.counts)},
+    }
+
+
+def uniproc_run_to_dict(run):
+    """An ExperimentContext UniprocRun as a plain dictionary."""
+    result = run.result
+    return {
+        "duration": result.duration,
+        "per_process": dict(result.per_process),
+        "stats": stats_to_dict(result.stats),
+    }
+
+
+def mp_result_to_dict(result):
+    """An MPResult as a plain dictionary."""
+    return {
+        "cycles": result.cycles,
+        "nodes": [stats_to_dict(s) for s in result.node_stats],
+        "stats": stats_to_dict(result.stats),
+        "protocol": {
+            "read_misses": result.machine.read_misses,
+            "write_misses": result.machine.write_misses,
+            "upgrades": result.machine.upgrades,
+            "invalidations": result.machine.invalidations_sent,
+            "cache_to_cache": result.machine.dirty_remote_services,
+        },
+    }
+
+
+def context_to_dict(ctx):
+    """Everything an ExperimentContext has memoised, as a dictionary."""
+    return {
+        "uniprocessor": {
+            "%s/%s/%d" % key: uniproc_run_to_dict(run)
+            for key, run in ctx._uniproc.items()
+        },
+        "dedicated_rates": dict(ctx._dedicated),
+        "multiprocessor": {
+            "%s/%s/%d" % key: mp_result_to_dict(res)
+            for key, res in ctx._mp.items()
+        },
+    }
+
+
+def write_json(path, payload):
+    """Serialise ``payload`` (any of the dicts above) to ``path``."""
+    with open(path, "w") as fh:
+        json.dump(payload, fh, indent=2, sort_keys=True)
+    return path

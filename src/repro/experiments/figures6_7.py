@@ -1,0 +1,40 @@
+"""Figures 6 and 7: uniprocessor processor-utilisation breakdowns.
+
+Figure 6 is the blocked scheme, Figure 7 the interleaved scheme; each
+shows, per workload and context count (1, 2, 4), where the cycles went:
+busy, pipeline-dependency stalls, instruction-cache/TLB stalls,
+data-cache/TLB stalls, and context switching.
+"""
+
+from repro.workloads.uniprocessor import WORKLOAD_ORDER
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.report import render_stacked_bars
+
+CONTEXT_COUNTS = (1, 2, 4)
+
+
+def run(ctx=None, scheme="blocked", workloads=WORKLOAD_ORDER):
+    """Returns {workload: {n_contexts: {category: fraction}}}."""
+    if ctx is None:
+        ctx = ExperimentContext()
+    out = {}
+    for w in workloads:
+        per_n = {}
+        for n in CONTEXT_COUNTS:
+            actual_scheme = scheme if n > 1 else "single"
+            r = ctx.uniproc_run(w, actual_scheme, n)
+            per_n[n] = r.result.stats.breakdown_fractions()
+        out[w] = per_n
+    return out
+
+
+def render(result=None, scheme="blocked", workloads=WORKLOAD_ORDER):
+    figure = "Figure 6" if scheme == "blocked" else "Figure 7"
+    if result is None:
+        result = run(scheme=scheme, workloads=workloads)
+    bars = []
+    for w in workloads:
+        for n in CONTEXT_COUNTS:
+            bars.append(("%s %d ctx" % (w, n), result[w][n]))
+    return render_stacked_bars(
+        "%s: %s scheme processor utilization" % (figure, scheme), bars)

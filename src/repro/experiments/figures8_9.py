@@ -1,0 +1,52 @@
+"""Figures 8 and 9: multiprocessor execution-time breakdowns.
+
+Execution time of each SPLASH stand-in for 1, 2, 4, and 8 contexts per
+processor, normalised to the single-context time and split into busy,
+short/long instruction stalls, memory, synchronisation, and context
+switching.  Figure 8 is the blocked scheme, Figure 9 the interleaved.
+"""
+
+from repro.workloads.splash import SPLASH_ORDER
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.report import render_stacked_bars
+
+CONTEXT_COUNTS = (1, 2, 4, 8)
+
+
+def run(ctx=None, scheme="blocked", apps=SPLASH_ORDER,
+        context_counts=CONTEXT_COUNTS):
+    """{app: {n: (normalized_time, {category: fraction})}}."""
+    if ctx is None:
+        ctx = ExperimentContext()
+    out = {}
+    for app in apps:
+        base = ctx.mp_run(app, "single", 1).cycles
+        per_n = {}
+        for n in context_counts:
+            actual = scheme if n > 1 else "single"
+            r = ctx.mp_run(app, actual, n)
+            per_n[n] = (r.cycles / base, r.breakdown_fractions())
+        out[app] = per_n
+    return out
+
+
+def render(result=None, scheme="blocked", apps=SPLASH_ORDER,
+           context_counts=CONTEXT_COUNTS):
+    figure = "Figure 8" if scheme == "blocked" else "Figure 9"
+    if result is None:
+        result = run(scheme=scheme, apps=apps,
+                     context_counts=context_counts)
+    bars = []
+    for app in apps:
+        for n in context_counts:
+            if n not in result[app]:
+                continue
+            norm_time, fractions = result[app][n]
+            # Scale the bar to the normalised execution time so shorter
+            # bars mean faster runs, like the paper's figures.
+            scaled = {k: v * norm_time for k, v in fractions.items()}
+            bars.append(("%s %d ctx (%.2fx)" % (app, n, norm_time),
+                         scaled))
+    return render_stacked_bars(
+        "%s: %s scheme execution time breakdown (bar length ~ time)"
+        % (figure, scheme), bars, width=50, normalize=False)

@@ -1,0 +1,82 @@
+"""Text rendering for the regenerated tables and figures."""
+
+
+def render_table(title, col_names, rows, col_width=12, first_width=24):
+    """Render a simple aligned table.
+
+    ``rows`` is a list of (label, values) with one value per column;
+    values may be strings or numbers.
+    """
+    lines = [title, "=" * len(title)]
+    header = " " * first_width + "".join(
+        "%*s" % (col_width, c) for c in col_names)
+    lines.append(header)
+    lines.append("-" * len(header))
+    for label, values in rows:
+        cells = []
+        for v in values:
+            if isinstance(v, float):
+                cells.append("%*.2f" % (col_width, v))
+            else:
+                cells.append("%*s" % (col_width, v))
+        lines.append("%-*s%s" % (first_width, label, "".join(cells)))
+    return "\n".join(lines)
+
+
+_BAR_CHARS = {
+    "busy": "#",
+    "instruction": "i",
+    "instruction_short": "i",
+    "instruction_long": "I",
+    "inst_cache": "c",
+    "data_cache": "d",
+    "memory": "m",
+    "synchronization": "s",
+    "context_switch": "x",
+    "idle": ".",
+}
+
+
+def render_stacked_bars(title, bars, width=60, normalize=True):
+    """ASCII stacked bars (the paper's Figures 6-9 style).
+
+    ``bars`` is a list of (label, {category: value}).  With
+    ``normalize=True`` every bar fills ``width`` characters (utilisation
+    breakdown, Figures 6/7); with ``normalize=False`` the values are
+    treated as fractions of the *reference* bar, so total bar length
+    tracks normalised execution time (Figures 8/9).
+    """
+    lines = [title, "=" * len(title)]
+    legend = "  ".join("%s=%s" % (ch, name)
+                       for name, ch in _BAR_CHARS.items()
+                       if any(name in b for _, b in bars))
+    lines.append("legend: " + legend)
+    for label, breakdown in bars:
+        total = sum(breakdown.values())
+        denom = total if normalize else 1.0
+        bar = []
+        for name, value in breakdown.items():
+            n = int(round(width * value / denom)) if denom else 0
+            bar.append(_BAR_CHARS.get(name, "?") * n)
+        bar_text = "".join(bar)
+        if normalize:
+            bar_text = bar_text[:width]
+        bar_text = bar_text.ljust(width)
+        busy_pct = 100.0 * breakdown.get("busy", 0.0) / total if total else 0
+        lines.append("%-28s |%s| busy=%4.1f%%" % (label, bar_text, busy_pct))
+    return "\n".join(lines)
+
+
+def render_timeline(title, lanes, max_cycles=80):
+    """Cycle-by-cycle issue timeline (the paper's Figure 3 style).
+
+    ``lanes`` is a list of (label, string) where each character of the
+    string describes one cycle: a context letter for an issued
+    instruction, 'x' for a squashed slot, '.' for a stall/idle cycle.
+    """
+    lines = [title, "=" * len(title)]
+    ruler = "".join("%-10s" % i for i in range(0, max_cycles, 10))
+    lines.append(" " * 24 + ruler[:max_cycles])
+    for label, cells in lanes:
+        lines.append("%-23s %s" % (label, cells[:max_cycles]))
+    return "\n".join(lines)

@@ -1,0 +1,118 @@
+"""Paper-vs-measured verdict report.
+
+Runs the full experiment suite and checks every *claim* the paper makes
+(the shapes its conclusions rest on) against the measured results,
+printing a pass/fail verdict per claim — the executable form of
+EXPERIMENTS.md.
+"""
+
+from repro.experiments import figure2, figure3, table4, table7, table10
+from repro.experiments.runner import ExperimentContext
+from repro.workloads.uniprocessor import WORKLOAD_ORDER
+from repro.workloads.splash import SPLASH_ORDER
+
+
+class Claim:
+    """One checkable claim from the paper."""
+
+    def __init__(self, source, text, check):
+        self.source = source
+        self.text = text
+        self.check = check       # fn(results) -> bool
+        self.passed = None
+
+    def evaluate(self, results):
+        self.passed = bool(self.check(results))
+        return self.passed
+
+
+def _t7_mean(results, scheme, n):
+    row = results["table7"][(scheme, n)]
+    return table7.geometric_mean(list(row.values()))
+
+
+def _t10(results, scheme, n, app):
+    return results["table10"][(scheme, n)][app]
+
+
+CLAIMS = [
+    Claim("Figure 2",
+          "a miss costs the blocked scheme 7 slots (the pipeline depth)",
+          lambda r: r["figure2"]["blocked"] == 7),
+    Claim("Figure 2",
+          "with 4 contexts the interleaved scheme loses only 2 slots",
+          lambda r: r["figure2"]["interleaved"] == 2),
+    Claim("Figure 3",
+          "the interleaved processor finishes the four threads first",
+          lambda r: r["figure3"]["interleaved"][0]
+          < r["figure3"]["blocked"][0]),
+    Claim("Table 4",
+          "explicit switch costs 3 cycles, backoff costs 1",
+          lambda r: r["table4"][("explicit", "blocked")] == 3
+          and r["table4"][("explicit", "interleaved")] == 1),
+    Claim("Table 7",
+          "interleaved beats blocked at every context count (means)",
+          lambda r: _t7_mean(r, "interleaved", 2) > _t7_mean(r, "blocked", 2)
+          and _t7_mean(r, "interleaved", 4) > _t7_mean(r, "blocked", 4)),
+    Claim("Table 7",
+          "4-context interleaving gains substantially (paper: +50%)",
+          lambda r: _t7_mean(r, "interleaved", 4) > 1.3),
+    Claim("Table 7",
+          "blocked gains stay modest and saturate (paper: +3%/+11%)",
+          lambda r: _t7_mean(r, "blocked", 4) < 1.35),
+    Claim("Table 7",
+          "DC is among the biggest interleaved winners (paper: +65%)",
+          lambda r: r["table7"][("interleaved", 4)]["DC"]
+          >= sorted(r["table7"][("interleaved", 4)].values())[-2] - 1e-9),
+    Claim("Table 10",
+          "interleaved >= blocked for every application at 4 contexts",
+          lambda r: all(_t10(r, "interleaved", 4, a)
+                        >= _t10(r, "blocked", 4, a) - 0.05
+                        for a in SPLASH_ORDER)),
+    Claim("Table 10",
+          "4-ctx interleaved beats 8-ctx blocked except (at most) MP3D",
+          lambda r: all(_t10(r, "interleaved", 4, a)
+                        >= _t10(r, "blocked", 8, a) - 0.05
+                        for a in SPLASH_ORDER if a != "mp3d")),
+    Claim("Table 10",
+          "Barnes and Water show the largest interleaved-blocked gaps",
+          lambda r: max(_t10(r, "interleaved", 4, a)
+                        - _t10(r, "blocked", 4, a)
+                        for a in ("barnes", "water"))
+          >= max(_t10(r, "interleaved", 4, a) - _t10(r, "blocked", 4, a)
+                 for a in ("mp3d", "cholesky"))),
+    Claim("Table 10",
+          "Cholesky shows no gain from multiple contexts",
+          lambda r: _t10(r, "interleaved", 8, "cholesky") < 1.15),
+]
+
+
+def run(ctx=None):
+    """Execute all experiments and evaluate every claim."""
+    if ctx is None:
+        ctx = ExperimentContext()
+    results = {
+        "figure2": figure2.run(),
+        "figure3": figure3.run(),
+        "table4": table4.run(),
+        "table7": table7.run(ctx),
+        "table10": table10.run(ctx),
+    }
+    for claim in CLAIMS:
+        claim.evaluate(results)
+    return results
+
+
+def render(results=None, ctx=None):
+    if results is None:
+        results = run(ctx)
+    lines = ["Reproduction verdicts (paper claims vs measured)",
+             "=" * 49]
+    passed = 0
+    for claim in CLAIMS:
+        mark = "PASS" if claim.passed else "FAIL"
+        passed += claim.passed
+        lines.append("[%s] %-9s %s" % (mark, claim.source, claim.text))
+    lines.append("-" * 49)
+    lines.append("%d/%d claims reproduced" % (passed, len(CLAIMS)))
+    return "\n".join(lines)

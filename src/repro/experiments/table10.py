@@ -1,0 +1,55 @@
+"""Table 10: multiprocessor speedup from adding hardware contexts.
+
+For each SPLASH stand-in and each (scheme, contexts-per-processor), the
+speedup of the run-to-completion time over the single-context machine.
+Paper headline shapes: everything except Cholesky gains; interleaved
+beats blocked everywhere at 4 and 8 contexts; Barnes and Water (FP-divide
+heavy) show the largest gap; 4-context interleaved beats 8-context
+blocked for every application except MP3D.
+"""
+
+import math
+
+from repro.workloads.splash import SPLASH_ORDER
+from repro.experiments.runner import ExperimentContext
+from repro.experiments.report import render_table
+
+CONFIGS = (("interleaved", 2), ("blocked", 2),
+           ("interleaved", 4), ("blocked", 4),
+           ("interleaved", 8), ("blocked", 8))
+
+
+def run(ctx=None, apps=SPLASH_ORDER, configs=CONFIGS):
+    """Returns {(scheme, n): {app: speedup}}."""
+    if ctx is None:
+        ctx = ExperimentContext()
+    table = {}
+    for scheme, n in configs:
+        table[(scheme, n)] = {app: ctx.mp_speedup(app, scheme, n)
+                              for app in apps}
+    return table
+
+
+def geometric_mean(values):
+    return math.exp(sum(math.log(v) for v in values) / len(values))
+
+
+def render(result=None, apps=SPLASH_ORDER, configs=CONFIGS):
+    if result is None:
+        result = run(apps=apps, configs=configs)
+    rows = []
+    seen_counts = sorted({n for _, n in configs})
+    for n in seen_counts:
+        for scheme in ("interleaved", "blocked"):
+            if (scheme, n) not in result:
+                continue
+            row = result[(scheme, n)]
+            values = [row[a] for a in apps]
+            values.append(geometric_mean(values))
+            rows.append(("%d ctx %s" % (n, scheme), values))
+    table = render_table(
+        "Table 10: application speedup due to multiple contexts",
+        list(apps) + ["Mean"], rows, col_width=9, first_width=20)
+    note = ("\npaper shapes: interleaved >= blocked everywhere at 4/8 "
+            "contexts; barnes/water show the largest gap; cholesky ~1.0")
+    return table + note

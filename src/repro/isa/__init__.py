@@ -1,0 +1,52 @@
+"""MIPS-II-like instruction set used by the interleaving simulator.
+
+The paper compiles Spec89/SPLASH with the MIPS compilers and schedules the
+result with Twine for a delayed-branch-free MIPS II pipeline.  We stand in
+for that toolchain with a small ISA of the same shape: 32 integer and 32
+floating-point registers, word-granularity loads/stores, no branch or load
+delay slots, and the operation latencies of the paper's Table 3.
+"""
+
+from repro.isa.opcodes import Op, OpInfo, OP_INFO, FU
+from repro.isa.registers import (
+    REG_NAMES,
+    FREG_NAMES,
+    reg_num,
+    reg_name,
+    NUM_INT_REGS,
+    NUM_FP_REGS,
+    FP_BASE,
+)
+from repro.isa.instruction import Instruction
+from repro.isa.program import Program, DataSegment
+from repro.isa.assembler import assemble, AssemblerError
+from repro.isa.builder import AsmBuilder
+from repro.isa.executor import ArchState, Memory, execute, ExecutionError
+from repro.isa.encoding import encode, decode, EncodingError
+
+__all__ = [
+    "Op",
+    "OpInfo",
+    "OP_INFO",
+    "FU",
+    "REG_NAMES",
+    "FREG_NAMES",
+    "reg_num",
+    "reg_name",
+    "NUM_INT_REGS",
+    "NUM_FP_REGS",
+    "FP_BASE",
+    "Instruction",
+    "Program",
+    "DataSegment",
+    "assemble",
+    "AssemblerError",
+    "AsmBuilder",
+    "ArchState",
+    "Memory",
+    "execute",
+    "ExecutionError",
+    "encode",
+    "decode",
+    "EncodingError",
+]

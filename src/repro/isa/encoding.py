@@ -1,0 +1,143 @@
+"""Binary instruction encoding.
+
+Instructions encode into 32-bit words with a 6-bit opcode, 6-bit register
+fields (the flat 0..63 id space), and a 14-bit immediate.  Conditional
+branches store a PC-relative offset; jumps store a 24-bit absolute
+instruction index.  The machine therefore has a 2^28-byte physical address
+space, which the ``li``/``la`` LUI(shift-14)+ORI expansion covers exactly.
+
+Encoding is not on the simulator's hot path; it exists so that programs are
+*real* — every kernel in the workload suite must round-trip through
+``encode``/``decode`` (enforced by tests), which keeps immediates and
+branch offsets honest.
+"""
+
+from repro.isa.opcodes import Op, OP_INFO
+from repro.isa.instruction import Instruction
+
+
+class EncodingError(Exception):
+    """Value does not fit its encoding field."""
+
+
+_UNSIGNED_IMM_OPS = frozenset((
+    Op.LUI, Op.ORI, Op.ANDI, Op.XORI, Op.BACKOFF, Op.BARRIER,
+))
+
+_IMM_BITS = 14
+_IMM_MASK = (1 << _IMM_BITS) - 1
+_JUMP_BITS = 24
+
+
+def _check_reg(value, field):
+    if not 0 <= value < 64:
+        raise EncodingError("register field %s=%d out of range"
+                            % (field, value))
+    return value
+
+
+def _encode_imm(op, imm, signed):
+    if signed:
+        if not -(1 << (_IMM_BITS - 1)) <= imm < (1 << (_IMM_BITS - 1)):
+            raise EncodingError("signed immediate %d out of range for %s"
+                                % (imm, op.name))
+        return imm & _IMM_MASK
+    if not 0 <= imm <= _IMM_MASK:
+        raise EncodingError("unsigned immediate %d out of range for %s"
+                            % (imm, op.name))
+    return imm
+
+
+def _decode_imm(op, field, signed):
+    if signed and field & (1 << (_IMM_BITS - 1)):
+        return field - (1 << _IMM_BITS)
+    return field
+
+
+def encode(inst, index=None):
+    """Encode an instruction to its 32-bit word.
+
+    ``index`` (the instruction's position in its program) is required for
+    conditional branches, whose targets are stored PC-relative.
+    """
+    op = inst.op
+    fmt = inst.info.fmt
+    word = int(op) << 26
+    signed = op not in _UNSIGNED_IMM_OPS
+
+    if fmt in ("rrr",):
+        word |= _check_reg(inst.rd, "rd") << 20
+        word |= _check_reg(inst.rs1, "rs1") << 14
+        word |= _check_reg(inst.rs2, "rs2") << 8
+    elif fmt in ("rri", "ld", "st"):
+        word |= _check_reg(inst.rd, "rd") << 20
+        word |= _check_reg(inst.rs1, "rs1") << 14
+        word |= _encode_imm(op, inst.imm, signed)
+    elif fmt == "ri":
+        word |= _check_reg(inst.rd, "rd") << 20
+        word |= _encode_imm(op, inst.imm, signed)
+    elif fmt in ("cbr", "cbr1"):
+        if index is None:
+            raise EncodingError("branch encoding requires the index")
+        word |= _check_reg(inst.rs1, "rs1") << 20
+        if fmt == "cbr":
+            word |= _check_reg(inst.rs2, "rs2") << 14
+        word |= _encode_imm(op, inst.imm - index, True)
+    elif fmt == "j":
+        if not 0 <= inst.imm < (1 << _JUMP_BITS):
+            raise EncodingError("jump target %d out of range" % inst.imm)
+        word |= inst.imm
+    elif fmt == "jr":
+        word |= _check_reg(inst.rs1, "rs1") << 20
+    elif fmt in ("jalr", "fr2"):
+        word |= _check_reg(inst.rd, "rd") << 20
+        word |= _check_reg(inst.rs1, "rs1") << 14
+    elif fmt == "i":
+        word |= _encode_imm(op, inst.imm, signed)
+    elif fmt == "mref":
+        word |= _check_reg(inst.rs1, "rs1") << 14
+        word |= _encode_imm(op, inst.imm, signed)
+    # fmt == "none": opcode only
+    return word
+
+
+def decode(word, index=None):
+    """Decode a 32-bit word back into an :class:`Instruction`."""
+    try:
+        op = Op(word >> 26)
+    except ValueError:
+        raise EncodingError("bad opcode field %d" % (word >> 26))
+    fmt = OP_INFO[op].fmt
+    signed = op not in _UNSIGNED_IMM_OPS
+    rd = (word >> 20) & 0x3F
+    rs1 = (word >> 14) & 0x3F
+    rs2 = (word >> 8) & 0x3F
+    imm_field = word & _IMM_MASK
+
+    if fmt == "rrr":
+        return Instruction(op, rd=rd, rs1=rs1, rs2=rs2)
+    if fmt in ("rri", "ld", "st"):
+        return Instruction(op, rd=rd, rs1=rs1,
+                           imm=_decode_imm(op, imm_field, signed))
+    if fmt == "ri":
+        return Instruction(op, rd=rd,
+                           imm=_decode_imm(op, imm_field, signed))
+    if fmt in ("cbr", "cbr1"):
+        if index is None:
+            raise EncodingError("branch decoding requires the index")
+        offset = _decode_imm(op, imm_field, True)
+        if fmt == "cbr":
+            return Instruction(op, rs1=rd, rs2=rs1, imm=index + offset)
+        return Instruction(op, rs1=rd, imm=index + offset)
+    if fmt == "j":
+        return Instruction(op, imm=word & ((1 << _JUMP_BITS) - 1))
+    if fmt == "jr":
+        return Instruction(op, rs1=rd)
+    if fmt in ("jalr", "fr2"):
+        return Instruction(op, rd=rd, rs1=rs1)
+    if fmt == "i":
+        return Instruction(op, imm=_decode_imm(op, imm_field, signed))
+    if fmt == "mref":
+        return Instruction(op, rs1=rs1,
+                           imm=_decode_imm(op, imm_field, signed))
+    return Instruction(op)

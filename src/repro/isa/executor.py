@@ -1,0 +1,252 @@
+"""Functional execution of the ISA.
+
+The executor implements architectural semantics only; all timing lives in
+``repro.pipeline`` and ``repro.core``.  Multithreading magic operations
+(SWITCH, BACKOFF, LOCK, UNLOCK, BARRIER) are functional no-ops here — the
+timing layer interprets them — except that their program-counter behaviour
+(fall through) is defined here so a program can also be run purely
+functionally for testing.
+"""
+
+from repro.isa.opcodes import Op
+
+
+class ExecutionError(Exception):
+    """Raised for architecturally undefined behaviour (e.g. divide by 0)."""
+
+
+_MASK = 0xFFFFFFFF
+
+
+def _w(x):
+    """Wrap a Python int to signed 32-bit."""
+    x &= _MASK
+    return x - 0x100000000 if x & 0x80000000 else x
+
+
+class Memory:
+    """Word-granularity functional memory.
+
+    Backed by a dict keyed on word index so that sparse, multi-process
+    address spaces cost nothing.  Uninitialised words read as integer 0.
+    """
+
+    __slots__ = ("words",)
+
+    def __init__(self):
+        self.words = {}
+
+    def read(self, addr):
+        if addr & 3:
+            raise ExecutionError("unaligned read at 0x%x" % addr)
+        return self.words.get(addr >> 2, 0)
+
+    def write(self, addr, value):
+        if addr & 3:
+            raise ExecutionError("unaligned write at 0x%x" % addr)
+        self.words[addr >> 2] = value
+
+    def store_words(self, base, values):
+        """Bulk-install ``values`` starting at byte address ``base``."""
+        if base & 3:
+            raise ExecutionError("unaligned segment base 0x%x" % base)
+        start = base >> 2
+        words = self.words
+        for i, v in enumerate(values):
+            words[start + i] = v
+
+    def read_words(self, base, count):
+        """Bulk-read ``count`` words starting at byte address ``base``."""
+        start = base >> 2
+        words = self.words
+        return [words.get(start + i, 0) for i in range(count)]
+
+
+class ArchState:
+    """Architectural state of one hardware context."""
+
+    __slots__ = ("regs", "pc", "halted")
+
+    def __init__(self, entry=0):
+        # Flat register file: [0..31] integer, [32..63] floating point.
+        self.regs = [0] * 32 + [0.0] * 32
+        self.pc = entry
+        self.halted = False
+
+
+def _div(a, b):
+    if b == 0:
+        raise ExecutionError("integer divide by zero")
+    # MIPS divides truncate toward zero.
+    q = abs(a) // abs(b)
+    return -q if (a < 0) != (b < 0) else q
+
+
+def _rem(a, b):
+    if b == 0:
+        raise ExecutionError("integer remainder by zero")
+    return a - b * _div(a, b)
+
+
+def _fdiv(a, b):
+    try:
+        return a / b
+    except ZeroDivisionError:
+        return float("inf") if a > 0 else float("-inf") if a < 0 else float("nan")
+
+
+def execute(state, inst, mem):
+    """Execute one instruction; updates ``state`` (and ``mem`` for stores).
+
+    Returns nothing; ``state.pc`` is advanced (branches included) and
+    ``state.halted`` is set by HALT.
+    """
+    op = inst.op
+    regs = state.regs
+    taken = None  # branch/jump target (instruction index)
+
+    if op is Op.ADD:
+        regs[inst.rd] = _w(regs[inst.rs1] + regs[inst.rs2])
+    elif op is Op.ADDI:
+        regs[inst.rd] = _w(regs[inst.rs1] + inst.imm)
+    elif op is Op.SUB:
+        regs[inst.rd] = _w(regs[inst.rs1] - regs[inst.rs2])
+    elif op is Op.AND:
+        regs[inst.rd] = _w(regs[inst.rs1] & regs[inst.rs2])
+    elif op is Op.ANDI:
+        regs[inst.rd] = _w(regs[inst.rs1] & inst.imm)
+    elif op is Op.OR:
+        regs[inst.rd] = _w(regs[inst.rs1] | regs[inst.rs2])
+    elif op is Op.ORI:
+        regs[inst.rd] = _w(regs[inst.rs1] | inst.imm)
+    elif op is Op.XOR:
+        regs[inst.rd] = _w(regs[inst.rs1] ^ regs[inst.rs2])
+    elif op is Op.XORI:
+        regs[inst.rd] = _w(regs[inst.rs1] ^ inst.imm)
+    elif op is Op.NOR:
+        regs[inst.rd] = _w(~(regs[inst.rs1] | regs[inst.rs2]))
+    elif op is Op.SLT:
+        regs[inst.rd] = 1 if regs[inst.rs1] < regs[inst.rs2] else 0
+    elif op is Op.SLTI:
+        regs[inst.rd] = 1 if regs[inst.rs1] < inst.imm else 0
+    elif op is Op.SLTU:
+        regs[inst.rd] = 1 if (regs[inst.rs1] & _MASK) < (regs[inst.rs2] & _MASK) else 0
+    elif op is Op.LUI:
+        # This ISA's LUI shifts by 14 so that a LUI/ORI pair covers the
+        # machine's 28-bit physical address space within 14-bit immediates.
+        regs[inst.rd] = _w(inst.imm << 14)
+    elif op is Op.SLL:
+        regs[inst.rd] = _w(regs[inst.rs1] << (inst.imm & 31))
+    elif op is Op.SRL:
+        regs[inst.rd] = _w((regs[inst.rs1] & _MASK) >> (inst.imm & 31))
+    elif op is Op.SRA:
+        regs[inst.rd] = _w(regs[inst.rs1] >> (inst.imm & 31))
+    elif op is Op.SLLV:
+        regs[inst.rd] = _w(regs[inst.rs1] << (regs[inst.rs2] & 31))
+    elif op is Op.SRLV:
+        regs[inst.rd] = _w((regs[inst.rs1] & _MASK) >> (regs[inst.rs2] & 31))
+    elif op is Op.SRAV:
+        regs[inst.rd] = _w(regs[inst.rs1] >> (regs[inst.rs2] & 31))
+    elif op is Op.MUL:
+        regs[inst.rd] = _w(regs[inst.rs1] * regs[inst.rs2])
+    elif op is Op.DIV:
+        regs[inst.rd] = _w(_div(regs[inst.rs1], regs[inst.rs2]))
+    elif op is Op.REM:
+        regs[inst.rd] = _w(_rem(regs[inst.rs1], regs[inst.rs2]))
+    elif op is Op.LW:
+        regs[inst.rd] = mem.read(regs[inst.rs1] + inst.imm)
+    elif op is Op.SW:
+        mem.write(regs[inst.rs1] + inst.imm, regs[inst.rd])
+    elif op is Op.LWF:
+        regs[inst.rd] = float(mem.read(regs[inst.rs1] + inst.imm))
+    elif op is Op.SWF:
+        mem.write(regs[inst.rs1] + inst.imm, regs[inst.rd])
+    elif op is Op.BEQ:
+        if regs[inst.rs1] == regs[inst.rs2]:
+            taken = inst.imm
+    elif op is Op.BNE:
+        if regs[inst.rs1] != regs[inst.rs2]:
+            taken = inst.imm
+    elif op is Op.BLT:
+        if regs[inst.rs1] < regs[inst.rs2]:
+            taken = inst.imm
+    elif op is Op.BGE:
+        if regs[inst.rs1] >= regs[inst.rs2]:
+            taken = inst.imm
+    elif op is Op.BLEZ:
+        if regs[inst.rs1] <= 0:
+            taken = inst.imm
+    elif op is Op.BGTZ:
+        if regs[inst.rs1] > 0:
+            taken = inst.imm
+    elif op is Op.J:
+        taken = inst.imm
+    elif op is Op.JAL:
+        regs[31] = state.pc + 1
+        taken = inst.imm
+    elif op is Op.JR:
+        taken = regs[inst.rs1]
+    elif op is Op.JALR:
+        regs[inst.rd] = state.pc + 1
+        taken = regs[inst.rs1]
+    elif op is Op.FADD:
+        regs[inst.rd] = regs[inst.rs1] + regs[inst.rs2]
+    elif op is Op.FSUB:
+        regs[inst.rd] = regs[inst.rs1] - regs[inst.rs2]
+    elif op is Op.FMUL:
+        regs[inst.rd] = regs[inst.rs1] * regs[inst.rs2]
+    elif op is Op.FDIV or op is Op.FDIVS:
+        regs[inst.rd] = _fdiv(regs[inst.rs1], regs[inst.rs2])
+    elif op is Op.FNEG:
+        regs[inst.rd] = -regs[inst.rs1]
+    elif op is Op.FABS:
+        regs[inst.rd] = abs(regs[inst.rs1])
+    elif op is Op.FMOV:
+        regs[inst.rd] = regs[inst.rs1]
+    elif op is Op.FCVTIF:
+        regs[inst.rd] = float(regs[inst.rs1])
+    elif op is Op.FCVTFI:
+        regs[inst.rd] = _w(int(regs[inst.rs1]))
+    elif op is Op.FLT:
+        regs[inst.rd] = 1 if regs[inst.rs1] < regs[inst.rs2] else 0
+    elif op is Op.FLE:
+        regs[inst.rd] = 1 if regs[inst.rs1] <= regs[inst.rs2] else 0
+    elif op is Op.FEQ:
+        regs[inst.rd] = 1 if regs[inst.rs1] == regs[inst.rs2] else 0
+    elif op is Op.HALT:
+        state.halted = True
+        return
+    elif op in (Op.NOP, Op.SWITCH, Op.BACKOFF, Op.LOCK, Op.UNLOCK,
+                Op.BARRIER, Op.PREF):
+        pass  # timing semantics only; functionally fall through
+    else:  # pragma: no cover - OP_INFO/Op sync is asserted at import
+        raise ExecutionError("unimplemented opcode %s" % op)
+
+    regs[0] = 0  # r0 is hardwired to zero
+    state.pc = taken if taken is not None else state.pc + 1
+
+
+def run_functional(program, memory=None, max_steps=1_000_000, state=None):
+    """Run a program to HALT with no timing model; returns (state, memory).
+
+    This is the reference interpreter the timing simulator is validated
+    against: both must compute identical architectural results.
+    """
+    if memory is None:
+        memory = Memory()
+        program.load(memory)
+    if state is None:
+        state = ArchState(entry=program.entry)
+    instructions = program.instructions
+    steps = 0
+    while not state.halted:
+        if steps >= max_steps:
+            raise ExecutionError(
+                "program %r did not halt within %d steps"
+                % (program.name, max_steps))
+        if not 0 <= state.pc < len(instructions):
+            raise ExecutionError(
+                "pc %d outside program %r" % (state.pc, program.name))
+        execute(state, instructions[state.pc], memory)
+        steps += 1
+    return state, memory

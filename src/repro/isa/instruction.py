@@ -1,0 +1,115 @@
+"""The :class:`Instruction` container.
+
+Instructions are created by the assembler or the :class:`AsmBuilder` with
+register operands already mapped into the flat register-id space
+(integer 0..31, floating point 32..63).  Read/write sets are precomputed
+here so the pipeline scoreboard never has to interpret operand formats on
+the hot path.
+"""
+
+from repro.isa.opcodes import Op, OP_INFO
+from repro.isa.registers import reg_name, FP_BASE
+
+
+def _read_set(fmt, rd, rs1, rs2):
+    if fmt in ("rrr",):
+        return (rs1, rs2)
+    if fmt in ("rri", "ld", "jr", "fr2", "cbr1", "mref"):
+        return (rs1,)
+    if fmt == "st":
+        return (rs1, rd)
+    if fmt == "cbr":
+        return (rs1, rs2)
+    if fmt == "jalr":
+        return (rs1,)
+    return ()
+
+
+def _write_reg(fmt, rd):
+    if fmt in ("rrr", "rri", "ri", "ld", "fr2", "jalr"):
+        return rd
+    if fmt == "j":
+        return -1  # JAL handled separately below
+    return -1
+
+
+class Instruction:
+    """One decoded instruction, plus precomputed scheduling metadata."""
+
+    __slots__ = ("op", "info", "rd", "rs1", "rs2", "imm",
+                 "reads", "writes", "index", "target_label")
+
+    def __init__(self, op, rd=0, rs1=0, rs2=0, imm=0, target_label=None):
+        info = OP_INFO[op]
+        self.op = op
+        self.info = info
+        self.rd = rd
+        self.rs1 = rs1
+        self.rs2 = rs2
+        self.imm = imm
+        #: Instruction index within its program (set by Program).
+        self.index = -1
+        #: Unresolved branch-target label (assembler internal use).
+        self.target_label = target_label
+
+        reads = tuple(r for r in _read_set(info.fmt, rd, rs1, rs2) if r != 0)
+        writes = _write_reg(info.fmt, rd)
+        if op is Op.JAL:
+            writes = 31  # link register ra
+        if writes == 0:
+            writes = -1  # writes to r0 are discarded
+        self.reads = reads
+        self.writes = writes
+
+    # -- introspection helpers (used by tests, disassembly, reports) -------
+
+    @property
+    def is_mem(self):
+        return self.info.is_load or self.info.is_store
+
+    @property
+    def is_control(self):
+        return self.info.is_branch or self.info.is_jump
+
+    def disassemble(self):
+        """Render the instruction back into assembler syntax."""
+        info = self.info
+        fmt = info.fmt
+        m = info.mnemonic
+        if fmt == "rrr":
+            return "%s %s, %s, %s" % (m, reg_name(self.rd),
+                                      reg_name(self.rs1), reg_name(self.rs2))
+        if fmt == "rri":
+            return "%s %s, %s, %d" % (m, reg_name(self.rd),
+                                      reg_name(self.rs1), self.imm)
+        if fmt == "ri":
+            return "%s %s, %d" % (m, reg_name(self.rd), self.imm)
+        if fmt in ("ld", "st"):
+            return "%s %s, %d(%s)" % (m, reg_name(self.rd), self.imm,
+                                      reg_name(self.rs1))
+        if fmt == "cbr":
+            return "%s %s, %s, %d" % (m, reg_name(self.rs1),
+                                      reg_name(self.rs2), self.imm)
+        if fmt == "cbr1":
+            return "%s %s, %d" % (m, reg_name(self.rs1), self.imm)
+        if fmt == "j":
+            return "%s %d" % (m, self.imm)
+        if fmt == "jr":
+            return "%s %s" % (m, reg_name(self.rs1))
+        if fmt == "jalr":
+            return "%s %s, %s" % (m, reg_name(self.rd), reg_name(self.rs1))
+        if fmt == "fr2":
+            return "%s %s, %s" % (m, reg_name(self.rd), reg_name(self.rs1))
+        if fmt == "i":
+            return "%s %d" % (m, self.imm)
+        if fmt == "mref":
+            return "%s %d(%s)" % (m, self.imm, reg_name(self.rs1))
+        return m
+
+    def __repr__(self):
+        return "<Instruction %s>" % self.disassemble()
+
+
+def is_fp_id(reg):
+    """True if a flat register id names a floating-point register."""
+    return reg >= FP_BASE

@@ -1,0 +1,225 @@
+"""Opcode definitions and operation latencies (paper Table 3).
+
+Latencies follow Table 3 of the paper:
+
+========================================  =====  =======
+Operation                                 Issue  Latency
+========================================  =====  =======
+Integer ALU (bypassed)                    1      1
+Shift                                     1      2
+Load                                      1      3
+Integer multiply                          12     12
+Integer divide                            35     35
+Floating-point add/sub/convert/multiply   1      5
+Floating-point divide (double)            61     61
+Floating-point divide (single)            31     31
+========================================  =====  =======
+
+The integer multiply/divide entries of Table 3 are garbled in the archived
+text; we use the MIPS R4000 values (12 and 35 cycles), which is the pipeline
+the paper's processor is modelled on.  ``issue`` is the number of cycles the
+functional unit stays occupied (divides are not pipelined), ``latency`` is
+the number of cycles until the result can be forwarded.
+"""
+
+import enum
+from dataclasses import dataclass
+
+
+class FU(enum.IntEnum):
+    """Functional units of the modelled pipeline (Figure 5)."""
+
+    ALU = 0       # single-cycle integer unit, fully bypassed
+    SHIFT = 1     # two-cycle shifter
+    MULDIV = 2    # non-pipelined integer multiply/divide
+    MEM = 3       # load/store port into the data cache
+    BRANCH = 4    # branch resolution in EX
+    FPADD = 5     # pipelined FP add/sub/mul/convert (5-cycle)
+    FPDIV = 6     # non-pipelined FP divider
+    NONE = 7      # control pseudo-ops that use no unit
+
+
+#: Operand formats understood by the assembler and instruction builder.
+#: rrr: rd, rs1, rs2      rri: rd, rs1, imm       ri: rd, imm
+#: ld: rd, imm(rs1)       st: rd, imm(rs1)        cbr: rs1, rs2, target
+#: cbr1: rs1, target      j: target               jr: rs1
+#: jalr: rd, rs1          fr2: rd, rs1            i: imm
+#: mref: imm(rs1)         none: (no operands)
+FORMATS = (
+    "rrr", "rri", "ri", "ld", "st", "cbr", "cbr1",
+    "j", "jr", "jalr", "fr2", "i", "mref", "none",
+)
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static properties of one opcode."""
+
+    mnemonic: str
+    fmt: str
+    unit: FU
+    issue: int            # functional-unit occupancy in cycles
+    latency: int          # result latency for forwarding
+    writes_fp: bool = False   # destination is an FP register
+    reads_fp: bool = False    # register sources are FP registers
+    is_load: bool = False
+    is_store: bool = False
+    is_branch: bool = False   # conditional branch (resolves in EX)
+    is_jump: bool = False     # unconditional control transfer
+    is_sync: bool = False     # lock/unlock/barrier magic operation
+    is_prefetch: bool = False  # non-binding prefetch hint
+
+
+class Op(enum.IntEnum):
+    """All opcodes of the simulated ISA."""
+
+    # Integer ALU
+    ADD = enum.auto()
+    ADDI = enum.auto()
+    SUB = enum.auto()
+    AND = enum.auto()
+    ANDI = enum.auto()
+    OR = enum.auto()
+    ORI = enum.auto()
+    XOR = enum.auto()
+    XORI = enum.auto()
+    NOR = enum.auto()
+    SLT = enum.auto()
+    SLTI = enum.auto()
+    SLTU = enum.auto()
+    LUI = enum.auto()
+    # Shifts
+    SLL = enum.auto()
+    SRL = enum.auto()
+    SRA = enum.auto()
+    SLLV = enum.auto()
+    SRLV = enum.auto()
+    SRAV = enum.auto()
+    # Integer multiply / divide
+    MUL = enum.auto()
+    DIV = enum.auto()
+    REM = enum.auto()
+    # Memory
+    LW = enum.auto()
+    SW = enum.auto()
+    LWF = enum.auto()
+    SWF = enum.auto()
+    # Control transfer
+    BEQ = enum.auto()
+    BNE = enum.auto()
+    BLT = enum.auto()
+    BGE = enum.auto()
+    BLEZ = enum.auto()
+    BGTZ = enum.auto()
+    J = enum.auto()
+    JAL = enum.auto()
+    JR = enum.auto()
+    JALR = enum.auto()
+    # Floating point
+    FADD = enum.auto()
+    FSUB = enum.auto()
+    FMUL = enum.auto()
+    FDIV = enum.auto()
+    FDIVS = enum.auto()
+    FNEG = enum.auto()
+    FABS = enum.auto()
+    FMOV = enum.auto()
+    FCVTIF = enum.auto()   # int reg -> fp reg, convert to double
+    FCVTFI = enum.auto()   # fp reg -> int reg, truncate
+    FLT = enum.auto()      # int rd = (fs < ft)
+    FLE = enum.auto()      # int rd = (fs <= ft)
+    FEQ = enum.auto()      # int rd = (fs == ft)
+    # System / multithreading
+    NOP = enum.auto()
+    HALT = enum.auto()
+    SWITCH = enum.auto()    # blocked scheme: explicit context switch
+    BACKOFF = enum.auto()   # interleaved scheme: go unavailable imm cycles
+    LOCK = enum.auto()      # acquire lock at imm(rs1)
+    UNLOCK = enum.auto()    # release lock at imm(rs1)
+    BARRIER = enum.auto()   # join barrier number imm
+    PREF = enum.auto()      # non-binding prefetch of imm(rs1)
+
+
+def _alu(m, fmt="rrr"):
+    return OpInfo(m, fmt, FU.ALU, 1, 1)
+
+
+def _shift(m, fmt):
+    return OpInfo(m, fmt, FU.SHIFT, 1, 2)
+
+
+def _fp(m, fmt="rrr", latency=5):
+    return OpInfo(m, fmt, FU.FPADD, 1, latency, writes_fp=True, reads_fp=True)
+
+
+OP_INFO = {
+    Op.ADD: _alu("add"),
+    Op.ADDI: _alu("addi", "rri"),
+    Op.SUB: _alu("sub"),
+    Op.AND: _alu("and"),
+    Op.ANDI: _alu("andi", "rri"),
+    Op.OR: _alu("or"),
+    Op.ORI: _alu("ori", "rri"),
+    Op.XOR: _alu("xor"),
+    Op.XORI: _alu("xori", "rri"),
+    Op.NOR: _alu("nor"),
+    Op.SLT: _alu("slt"),
+    Op.SLTI: _alu("slti", "rri"),
+    Op.SLTU: _alu("sltu"),
+    Op.LUI: _alu("lui", "ri"),
+    Op.SLL: _shift("sll", "rri"),
+    Op.SRL: _shift("srl", "rri"),
+    Op.SRA: _shift("sra", "rri"),
+    Op.SLLV: _shift("sllv", "rrr"),
+    Op.SRLV: _shift("srlv", "rrr"),
+    Op.SRAV: _shift("srav", "rrr"),
+    Op.MUL: OpInfo("mul", "rrr", FU.MULDIV, 12, 12),
+    Op.DIV: OpInfo("div", "rrr", FU.MULDIV, 35, 35),
+    Op.REM: OpInfo("rem", "rrr", FU.MULDIV, 35, 35),
+    Op.LW: OpInfo("lw", "ld", FU.MEM, 1, 3, is_load=True),
+    Op.SW: OpInfo("sw", "st", FU.MEM, 1, 1, is_store=True),
+    Op.LWF: OpInfo("lwf", "ld", FU.MEM, 1, 3, is_load=True, writes_fp=True),
+    Op.SWF: OpInfo("swf", "st", FU.MEM, 1, 1, is_store=True, reads_fp=True),
+    Op.BEQ: OpInfo("beq", "cbr", FU.BRANCH, 1, 1, is_branch=True),
+    Op.BNE: OpInfo("bne", "cbr", FU.BRANCH, 1, 1, is_branch=True),
+    Op.BLT: OpInfo("blt", "cbr", FU.BRANCH, 1, 1, is_branch=True),
+    Op.BGE: OpInfo("bge", "cbr", FU.BRANCH, 1, 1, is_branch=True),
+    Op.BLEZ: OpInfo("blez", "cbr1", FU.BRANCH, 1, 1, is_branch=True),
+    Op.BGTZ: OpInfo("bgtz", "cbr1", FU.BRANCH, 1, 1, is_branch=True),
+    Op.J: OpInfo("j", "j", FU.BRANCH, 1, 1, is_jump=True),
+    Op.JAL: OpInfo("jal", "j", FU.BRANCH, 1, 1, is_jump=True),
+    Op.JR: OpInfo("jr", "jr", FU.BRANCH, 1, 1, is_jump=True),
+    Op.JALR: OpInfo("jalr", "jalr", FU.BRANCH, 1, 1, is_jump=True),
+    Op.FADD: _fp("fadd"),
+    Op.FSUB: _fp("fsub"),
+    Op.FMUL: _fp("fmul"),
+    Op.FDIV: OpInfo("fdiv", "rrr", FU.FPDIV, 61, 61,
+                    writes_fp=True, reads_fp=True),
+    Op.FDIVS: OpInfo("fdivs", "rrr", FU.FPDIV, 31, 31,
+                     writes_fp=True, reads_fp=True),
+    Op.FNEG: _fp("fneg", "fr2"),
+    Op.FABS: _fp("fabs", "fr2"),
+    Op.FMOV: _fp("fmov", "fr2"),
+    Op.FCVTIF: OpInfo("fcvtif", "fr2", FU.FPADD, 1, 5, writes_fp=True),
+    Op.FCVTFI: OpInfo("fcvtfi", "fr2", FU.FPADD, 1, 5, reads_fp=True),
+    Op.FLT: OpInfo("flt", "rrr", FU.FPADD, 1, 5, reads_fp=True),
+    Op.FLE: OpInfo("fle", "rrr", FU.FPADD, 1, 5, reads_fp=True),
+    Op.FEQ: OpInfo("feq", "rrr", FU.FPADD, 1, 5, reads_fp=True),
+    Op.NOP: OpInfo("nop", "none", FU.NONE, 1, 1),
+    Op.HALT: OpInfo("halt", "none", FU.NONE, 1, 1),
+    Op.SWITCH: OpInfo("switch", "none", FU.NONE, 1, 1),
+    Op.BACKOFF: OpInfo("backoff", "i", FU.NONE, 1, 1),
+    Op.LOCK: OpInfo("lock", "mref", FU.MEM, 1, 3, is_sync=True),
+    Op.UNLOCK: OpInfo("unlock", "mref", FU.MEM, 1, 1, is_sync=True),
+    Op.BARRIER: OpInfo("barrier", "i", FU.NONE, 1, 1, is_sync=True),
+    # Software prefetch (the alternative latency-tolerance scheme the
+    # paper's introduction cites): starts the fill, binds nothing,
+    # never faults, never stalls.
+    Op.PREF: OpInfo("pref", "mref", FU.MEM, 1, 1, is_prefetch=True),
+}
+
+#: Mnemonic -> Op lookup used by the assembler.
+MNEMONIC_TO_OP = {info.mnemonic: op for op, info in OP_INFO.items()}
+
+# Every opcode must carry metadata; catch omissions at import time.
+assert set(OP_INFO) == set(Op), "OP_INFO out of sync with Op"

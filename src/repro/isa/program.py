@@ -1,0 +1,89 @@
+"""Program container: instructions, labels, and a data segment.
+
+A :class:`Program` is position-dependent: its code and data base addresses
+are fixed when it is built (the workload composer assigns each process a
+region of the physical address space before assembling its kernel, which is
+how we sidestep a relocating linker).  Program counters are instruction
+*indices*; the byte address of instruction ``i`` is ``code_base + 4 * i``
+and is what the instruction cache and BTB see.
+"""
+
+
+class DataSegment:
+    """Initialised data for one program.
+
+    ``symbols`` maps label names to byte offsets from ``base``; ``words``
+    holds the initial word values for the whole segment (uninitialised
+    space is zero-filled).
+    """
+
+    def __init__(self, base):
+        self.base = base
+        self.symbols = {}
+        self.words = []
+
+    @property
+    def size_bytes(self):
+        return 4 * len(self.words)
+
+    def define(self, name, n_words, init=None):
+        """Reserve ``n_words`` words under ``name``; returns the address."""
+        if name in self.symbols:
+            raise ValueError("duplicate data symbol %r" % (name,))
+        offset = 4 * len(self.words)
+        self.symbols[name] = offset
+        if init is None:
+            self.words.extend([0] * n_words)
+        else:
+            if len(init) != n_words:
+                raise ValueError("init length %d != size %d for %r"
+                                 % (len(init), n_words, name))
+            self.words.extend(init)
+        return self.base + offset
+
+    def address_of(self, name):
+        """Absolute byte address of a data symbol."""
+        return self.base + self.symbols[name]
+
+    def load(self, memory):
+        """Write the initial data image into functional memory."""
+        memory.store_words(self.base, self.words)
+
+
+class Program:
+    """An assembled program: code, labels, and data."""
+
+    def __init__(self, name, instructions, labels, data, code_base=0,
+                 entry=0):
+        self.name = name
+        self.instructions = instructions
+        self.labels = labels
+        self.data = data
+        self.code_base = code_base
+        self.entry = entry
+        for i, inst in enumerate(instructions):
+            inst.index = i
+
+    def __len__(self):
+        return len(self.instructions)
+
+    def pc_address(self, index):
+        """Byte address of the instruction at ``index``."""
+        return self.code_base + 4 * index
+
+    def load(self, memory):
+        """Install the program's data segment into functional memory."""
+        if self.data is not None:
+            self.data.load(memory)
+
+    def listing(self):
+        """Human-readable disassembly listing with labels."""
+        by_index = {}
+        for label, idx in self.labels.items():
+            by_index.setdefault(idx, []).append(label)
+        lines = []
+        for i, inst in enumerate(self.instructions):
+            for label in sorted(by_index.get(i, ())):
+                lines.append("%s:" % label)
+            lines.append("    %s" % inst.disassemble())
+        return "\n".join(lines)

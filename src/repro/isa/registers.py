@@ -1,0 +1,61 @@
+"""Register names and numbering.
+
+Integer registers are numbered 0..31 and floating-point registers 32..63,
+so that a single flat id space can be used by the pipeline scoreboard.
+Register 0 is hardwired to zero, exactly as on MIPS.
+"""
+
+NUM_INT_REGS = 32
+NUM_FP_REGS = 32
+#: Flat-id offset of floating-point register f0.
+FP_BASE = 32
+#: Total number of architectural registers in the flat id space.
+NUM_REGS = NUM_INT_REGS + NUM_FP_REGS
+
+#: MIPS o32 ABI names for the integer registers, in number order.
+ABI_NAMES = (
+    "zero", "at", "v0", "v1", "a0", "a1", "a2", "a3",
+    "t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7",
+    "s0", "s1", "s2", "s3", "s4", "s5", "s6", "s7",
+    "t8", "t9", "k0", "k1", "gp", "sp", "fp", "ra",
+)
+
+#: Canonical display names (ABI style) indexed by register number.
+REG_NAMES = ABI_NAMES
+FREG_NAMES = tuple("f%d" % i for i in range(NUM_FP_REGS))
+
+_NAME_TO_NUM = {}
+for _i, _name in enumerate(ABI_NAMES):
+    _NAME_TO_NUM[_name] = _i
+for _i in range(NUM_INT_REGS):
+    _NAME_TO_NUM["r%d" % _i] = _i
+for _i in range(NUM_FP_REGS):
+    _NAME_TO_NUM["f%d" % _i] = FP_BASE + _i
+# "$"-prefixed spellings are accepted as well.
+for _key in list(_NAME_TO_NUM):
+    _NAME_TO_NUM["$" + _key] = _NAME_TO_NUM[_key]
+
+
+def reg_num(name):
+    """Map a register name (``t0``, ``$t0``, ``r8``, ``f2``) to its flat id.
+
+    Raises :class:`KeyError` with a helpful message for unknown names.
+    """
+    try:
+        return _NAME_TO_NUM[name.lower()]
+    except KeyError:
+        raise KeyError("unknown register name %r" % (name,)) from None
+
+
+def reg_name(num):
+    """Map a flat register id back to its canonical display name."""
+    if 0 <= num < NUM_INT_REGS:
+        return REG_NAMES[num]
+    if FP_BASE <= num < FP_BASE + NUM_FP_REGS:
+        return FREG_NAMES[num - FP_BASE]
+    raise ValueError("register id %d out of range" % (num,))
+
+
+def is_fp_reg(num):
+    """True when the flat register id names a floating-point register."""
+    return num >= FP_BASE

@@ -1,0 +1,21 @@
+"""Memory-system substrate: caches, MSHRs, TLB, bus, interleaved memory.
+
+The uniprocessor hierarchy (Figure 4 of the paper) is assembled by
+:class:`repro.memory.hierarchy.MemorySystem`; the multiprocessor variant
+lives in :mod:`repro.coherence`.
+"""
+
+from repro.memory.resource import Resource
+from repro.memory.cache import DirectMappedCache
+from repro.memory.mshr import MSHRFile
+from repro.memory.tlb import TLB
+from repro.memory.hierarchy import MemorySystem, AccessResult
+
+__all__ = [
+    "Resource",
+    "DirectMappedCache",
+    "MSHRFile",
+    "TLB",
+    "MemorySystem",
+    "AccessResult",
+]

@@ -1,0 +1,24 @@
+"""Pipeline models: BTB, scoreboard, stall taxonomy, and PC units.
+
+``repro.core.processor`` drives these to implement the issue-level timing
+model; :mod:`repro.pipeline.pcunit` additionally provides behavioural
+models of the paper's Figure 10–12 program-counter units.
+"""
+
+from repro.pipeline.btb import BranchTargetBuffer
+from repro.pipeline.scoreboard import Scoreboard
+from repro.pipeline.stalls import Stall
+from repro.pipeline.pcunit import (
+    SingleContextPCUnit,
+    BlockedPCUnit,
+    InterleavedPCUnit,
+)
+
+__all__ = [
+    "BranchTargetBuffer",
+    "Scoreboard",
+    "Stall",
+    "SingleContextPCUnit",
+    "BlockedPCUnit",
+    "InterleavedPCUnit",
+]

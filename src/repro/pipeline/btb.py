@@ -1,0 +1,78 @@
+"""Branch target buffer.
+
+A 2048-entry direct-mapped BTB (paper Section 4.1): correctly predicted
+branches cost nothing, mispredicted branches pay a 3-cycle penalty.  Only
+taken branches are installed; a hit on a branch that turns out not to be
+taken is a misprediction and evicts the entry (the behaviour of simple
+"last-target" BTBs of the era).
+
+All hardware contexts share the BTB — the entries are tagged by PC address
+only, as in the paper's Figure 12, so multiprogrammed contexts can evict
+each other's entries.
+"""
+
+
+class BranchTargetBuffer:
+    """Direct-mapped last-target BTB."""
+
+    __slots__ = ("n_entries", "tags", "targets", "hits", "mispredicts",
+                 "lookups")
+
+    def __init__(self, n_entries=2048):
+        if n_entries & (n_entries - 1):
+            raise ValueError("BTB size must be a power of two")
+        self.n_entries = n_entries
+        self.tags = [-1] * n_entries
+        self.targets = [0] * n_entries
+        self.lookups = 0
+        self.hits = 0
+        self.mispredicts = 0
+
+    def _index(self, pc_addr):
+        return (pc_addr >> 2) & (self.n_entries - 1)
+
+    def predict(self, pc_addr):
+        """Predicted branch target for the instruction at ``pc_addr``.
+
+        Returns the predicted target instruction index, or None for
+        "predict not taken / fall through".
+        """
+        self.lookups += 1
+        idx = self._index(pc_addr)
+        if self.tags[idx] == pc_addr:
+            self.hits += 1
+            return self.targets[idx]
+        return None
+
+    def resolve(self, pc_addr, predicted, actual_target, fallthrough):
+        """Resolve a branch; returns True when the prediction was correct.
+
+        ``actual_target`` is the actual next instruction index (the branch
+        target when taken, ``fallthrough`` when not).  Updates the BTB:
+        installs taken branches, evicts entries that predicted a
+        not-taken branch as taken.
+        """
+        taken = actual_target != fallthrough
+        predicted_next = predicted if predicted is not None else fallthrough
+        correct = predicted_next == actual_target
+        idx = self._index(pc_addr)
+        if taken:
+            self.tags[idx] = pc_addr
+            self.targets[idx] = actual_target
+        elif predicted is not None:
+            # Entry predicted taken but the branch fell through: evict.
+            if self.tags[idx] == pc_addr:
+                self.tags[idx] = -1
+        if not correct:
+            self.mispredicts += 1
+        return correct
+
+    def flush(self):
+        for i in range(self.n_entries):
+            self.tags[i] = -1
+
+    @property
+    def accuracy(self):
+        if not self.lookups:
+            return 1.0
+        return 1.0 - self.mispredicts / self.lookups

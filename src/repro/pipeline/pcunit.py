@@ -1,0 +1,206 @@
+"""Behavioural models of the program-counter units (Figures 10-12).
+
+Section 6 of the paper argues that the main implementation delta between
+the blocked and interleaved schemes is the PC unit.  These models capture
+the register-transfer behaviour of all three designs:
+
+* :class:`SingleContextPCUnit` (Figure 10) — PC bus driven by one of
+  sequential / BTB-predicted / computed-branch / exception-vector / EPC;
+  the EPC tracks the retiring instruction for exception restart.
+* :class:`BlockedPCUnit` (Figure 11) — the single-context design with one
+  EPC *per context*; a context switch reuses the exception machinery:
+  freeze the outgoing context's EPC, drive the incoming context's EPC.
+* :class:`InterleavedPCUnit` (Figure 12) — per-context *next-PC holding
+  registers* (NPC) with the paper's load priority (computed branch over
+  predicted branch over sequential over hold), a per-NPC mispredict bit
+  that triggers a BTB update when driven, squash-by-CID, and per-context
+  EPCs for restart after a context becomes unavailable.
+
+These models are the microarchitectural reference for what the fast
+issue-level model in :mod:`repro.core.processor` abstracts; tests hold
+the two consistent on the behaviours they share.
+"""
+
+WORD = 4
+
+
+class SingleContextPCUnit:
+    """Figure 10: the baseline PC unit."""
+
+    def __init__(self, reset_pc=0):
+        self.pc = reset_pc            # value on the PC bus this cycle
+        self.epc = 0                  # exception PC register
+        self.in_exception = False
+        self.history = [reset_pc]
+
+    def _drive(self, value):
+        self.pc = value
+        self.history.append(value)
+        return value
+
+    def step_sequential(self):
+        """Normal flow: PC bus <- old PC + instruction size."""
+        return self._drive(self.pc + WORD)
+
+    def predicted_branch(self, target):
+        """BTB hit: PC bus <- predicted target."""
+        return self._drive(target)
+
+    def computed_branch(self, target):
+        """Mis- or unpredicted branch resolved in EX: redirect."""
+        return self._drive(target)
+
+    def retire(self, pc):
+        """An instruction retires: EPC shadows it for exception restart."""
+        if not self.in_exception:
+            self.epc = pc
+
+    def take_exception(self, vector, guilty_pc):
+        """Squash from the guilty instruction; run the handler."""
+        self.epc = guilty_pc
+        self.in_exception = True
+        return self._drive(vector)
+
+    def eret(self):
+        """Exception return: PC bus <- EPC."""
+        self.in_exception = False
+        return self._drive(self.epc)
+
+
+class BlockedPCUnit:
+    """Figure 11: per-context EPC doubling as the context-restart register."""
+
+    def __init__(self, n_contexts, reset_pcs=None):
+        self.n_contexts = n_contexts
+        self.pc = 0
+        self.epcs = [0] * n_contexts
+        self.current = 0
+        self.in_exception = False
+        if reset_pcs:
+            for i, v in enumerate(reset_pcs):
+                self.epcs[i] = v
+            self.pc = reset_pcs[0]
+        self.history = [self.pc]
+
+    def _drive(self, value):
+        self.pc = value
+        self.history.append(value)
+        return value
+
+    def step_sequential(self):
+        return self._drive(self.pc + WORD)
+
+    def predicted_branch(self, target):
+        return self._drive(target)
+
+    def computed_branch(self, target):
+        return self._drive(target)
+
+    def retire(self, pc):
+        """The active context's EPC is continually updated (Section 6.2)."""
+        if not self.in_exception:
+            self.epcs[self.current] = pc
+
+    def context_switch(self, next_context, restart_pc):
+        """Switch at the exception point: save, flush, restore.
+
+        ``restart_pc`` is the instruction that caused the switch (it will
+        be re-executed — "the new context starts execution with the
+        instruction that caused its previous context switch").
+        """
+        self.epcs[self.current] = restart_pc
+        self.current = next_context
+        return self._drive(self.epcs[next_context])
+
+    def take_exception(self, vector, guilty_pc):
+        self.epcs[self.current] = guilty_pc
+        self.in_exception = True
+        return self._drive(vector)
+
+    def eret(self):
+        self.in_exception = False
+        return self._drive(self.epcs[self.current])
+
+
+class _NPC:
+    """One next-PC holding register with its mispredict status bit."""
+
+    __slots__ = ("value", "mispredicted")
+
+    def __init__(self, value=0):
+        self.value = value
+        self.mispredicted = False
+
+
+class InterleavedPCUnit:
+    """Figure 12: NPC holding registers, squash-by-CID, per-context EPC."""
+
+    def __init__(self, n_contexts, reset_pcs=None):
+        self.n_contexts = n_contexts
+        self.npcs = [_NPC() for _ in range(n_contexts)]
+        self.epcs = [0] * n_contexts
+        self.epc_valid = [False] * n_contexts
+        if reset_pcs:
+            for i, v in enumerate(reset_pcs):
+                self.npcs[i].value = v
+        #: (cid, pc) pairs driven onto the PC bus, oldest first.
+        self.bus_history = []
+        #: BTB updates requested when a mispredicted NPC is driven.
+        self.btb_updates = []
+        #: squash signals (cid) broadcast to the pipeline.
+        self.squashes = []
+
+    # -- NPC loading (priority: computed > predicted > sequential > hold) --
+
+    def issue(self, cid):
+        """Context ``cid`` is selected: drive its PC and load the NPC.
+
+        Returns the address driven onto the PC bus.  The EPC has
+        priority when valid (restart after unavailability).
+        """
+        if self.epc_valid[cid]:
+            pc = self.epcs[cid]
+            self.epc_valid[cid] = False
+            self.npcs[cid].value = pc + WORD
+            self.npcs[cid].mispredicted = False
+        else:
+            npc = self.npcs[cid]
+            pc = npc.value
+            if npc.mispredicted:
+                # Driving a held computed branch updates the BTB
+                # (Section 6.3: "the BTB needs to be updated ... when
+                # the holding register is driving the PC Bus").
+                self.btb_updates.append((cid, pc))
+                npc.mispredicted = False
+            npc.value = pc + WORD
+        self.bus_history.append((cid, pc))
+        return pc
+
+    def load_predicted(self, cid, target):
+        """BTB hit for the just-driven PC: NPC <- predicted target.
+
+        A pending computed branch (mispredict) has priority and is not
+        overwritten.
+        """
+        npc = self.npcs[cid]
+        if not npc.mispredicted:
+            npc.value = target
+
+    def mispredict(self, cid, computed_target):
+        """Branch resolved wrong in EX: squash the context's younger
+        instructions and hold the computed target with its status bit."""
+        npc = self.npcs[cid]
+        npc.value = computed_target
+        npc.mispredicted = True
+        self.squashes.append(cid)
+
+    def make_unavailable(self, cid, miss_pc):
+        """Cache miss detected: squash by CID, remember the restart PC."""
+        self.epcs[cid] = miss_pc
+        self.epc_valid[cid] = True
+        self.squashes.append(cid)
+
+    def context_pcs(self):
+        """The next fetch address of every context (for inspection)."""
+        return [self.epcs[i] if self.epc_valid[i] else self.npcs[i].value
+                for i in range(self.n_contexts)]

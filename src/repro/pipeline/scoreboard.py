@@ -1,0 +1,103 @@
+"""Issue scoreboard.
+
+The paper's simulator "models all major pipeline dependencies, including
+load, execution result, execution issue, and control-transfer hazards ...
+through a scoreboard which maintains information on the functional unit
+and register usage of all operations in progress".  This is that
+scoreboard, at issue granularity:
+
+* per-context register ready-times model result forwarding — a consumer
+  may issue once ``now >= ready[reg]``, and the Table 3 latencies are
+  exactly these issue-to-issue distances (ALU 1, shift 2, load 3, FP 5,
+  divides 35/61);
+* non-pipelined functional units (integer multiply/divide, FP divide)
+  impose structural hazards through shared busy-until times;
+* output (WAW) dependencies delay issue until the write completes in
+  order; anti (WAR) dependencies cannot occur at issue granularity since
+  operands are captured at issue.
+"""
+
+from repro.isa.opcodes import FU
+
+#: Units that are not pipelined and therefore block subsequent issues.
+_NON_PIPELINED = (FU.MULDIV, FU.FPDIV)
+
+
+class Scoreboard:
+    """Register and functional-unit hazard tracking for all contexts."""
+
+    __slots__ = ("reg_ready", "reg_mem", "fu_busy")
+
+    def __init__(self, n_contexts):
+        # reg_ready[ctx][reg] = first cycle the register value is usable.
+        self.reg_ready = [[0] * 64 for _ in range(n_contexts)]
+        # reg_mem[ctx][reg] = the pending value comes from a cache miss
+        # (stall-on-use); consumers charge their wait to the data-cache
+        # category rather than to a pipeline dependency.
+        self.reg_mem = [bytearray(64) for _ in range(n_contexts)]
+        self.fu_busy = [0] * (max(FU) + 1)
+
+    def hazard_until(self, ctx_id, inst, now):
+        """Earliest cycle ``inst`` could issue, and the limiting kind.
+
+        Returns ``(ready_cycle, kind)`` where kind is ``"data"`` for a
+        register dependency, ``"memory"`` when the limiting register is
+        waiting on an outstanding cache miss, ``"structural"`` for a busy
+        functional unit, or None when the instruction can issue at ``now``.
+        """
+        ready = self.reg_ready[ctx_id]
+        mem = self.reg_mem[ctx_id]
+        latest = now
+        kind = None
+        for r in inst.reads:
+            t = ready[r]
+            if t > latest:
+                latest = t
+                kind = "memory" if mem[r] else "data"
+        w = inst.writes
+        if w >= 0:
+            # In-order (output-dependency-safe) write: this write must not
+            # complete before an older, longer-latency write to the same
+            # register.
+            t = ready[w] - inst.info.latency
+            if t > latest:
+                latest = t
+                kind = "memory" if mem[w] else "data"
+        unit = inst.info.unit
+        if unit in _NON_PIPELINED:
+            t = self.fu_busy[unit]
+            if t > latest:
+                latest = t
+                kind = "structural"
+        if latest > now:
+            return latest, kind
+        return now, None
+
+    def issue(self, ctx_id, inst, now):
+        """Commit the issue of ``inst`` at cycle ``now``."""
+        w = inst.writes
+        if w >= 0:
+            self.reg_ready[ctx_id][w] = now + inst.info.latency
+            self.reg_mem[ctx_id][w] = 0
+        unit = inst.info.unit
+        if unit in _NON_PIPELINED:
+            self.fu_busy[unit] = now + inst.info.issue
+
+    def set_ready(self, ctx_id, reg, cycle, memory=False):
+        """Override a register's ready time (used for load-miss returns)."""
+        self.reg_ready[ctx_id][reg] = cycle
+        self.reg_mem[ctx_id][reg] = 1 if memory else 0
+
+    def clear_context(self, ctx_id):
+        """Forget all pending results of a context.
+
+        Used when the OS loads a *different process* onto the hardware
+        context.  It is deliberately **not** used on a cache-miss squash:
+        instructions older than the miss (e.g. an in-flight FP divide)
+        keep completing during the memory wait, and the squashed younger
+        instructions never touched the scoreboard in the first place.
+        """
+        ready = self.reg_ready[ctx_id]
+        for i in range(64):
+            ready[i] = 0
+        self.reg_mem[ctx_id] = bytearray(64)

@@ -1,0 +1,45 @@
+"""Stall/cycle taxonomy used for the paper's utilisation breakdowns.
+
+Figures 6 and 7 split uniprocessor time into busy / instruction stall /
+inst cache-TLB / data cache-TLB / context switch; Figures 8 and 9 split
+multiprocessor time into busy / instruction (short) / instruction (long) /
+memory / synchronisation / context switch.  One taxonomy covers both.
+"""
+
+import enum
+
+
+class Stall(enum.IntEnum):
+    """Where one issue slot went."""
+
+    BUSY = 0            # useful instruction issued
+    INST_SHORT = 1      # pipeline dependency, <= 4 cycles (Figures 8/9)
+    INST_LONG = 2       # pipeline dependency, > 4 cycles (divides etc.)
+    ICACHE = 3          # instruction cache / TLB stall
+    DCACHE = 4          # data cache / TLB stall (memory wait)
+    SYNC = 5            # interprocess synchronisation wait
+    SWITCH = 6          # context-switch overhead (flush / squash / switch)
+    IDLE = 7            # no runnable process at all (scheduler idle)
+
+
+#: Categories reported in the uniprocessor figures (6/7): short and long
+#: instruction stalls are merged into one "instruction" bar there.
+UNIPROCESSOR_CATEGORIES = (
+    ("busy", (Stall.BUSY,)),
+    ("instruction", (Stall.INST_SHORT, Stall.INST_LONG)),
+    ("inst_cache", (Stall.ICACHE,)),
+    ("data_cache", (Stall.DCACHE,)),
+    ("context_switch", (Stall.SWITCH,)),
+)
+
+#: Categories reported in the multiprocessor figures (8/9).  IDLE slots
+#: (a node whose threads finished early, waiting for the rest of the
+#: machine) are load imbalance and belong with synchronisation.
+MULTIPROCESSOR_CATEGORIES = (
+    ("busy", (Stall.BUSY,)),
+    ("instruction_short", (Stall.INST_SHORT,)),
+    ("instruction_long", (Stall.INST_LONG,)),
+    ("memory", (Stall.DCACHE, Stall.ICACHE)),
+    ("synchronization", (Stall.SYNC, Stall.IDLE)),
+    ("context_switch", (Stall.SWITCH,)),
+)

@@ -1,0 +1,43 @@
+"""Workloads: Spec89 stand-ins, Table 5 mixes, and SPLASH stand-ins.
+
+The paper drives its uniprocessor study with Spec89 programs compiled by
+the MIPS compilers and its multiprocessor study with the SPLASH suite.
+Neither is available (nor runnable on this ISA), so each program is
+replaced by a *stand-in kernel*: a small program written for our ISA whose
+instruction mix, dependency structure, memory footprint, and sharing
+pattern stress the same resources the original stresses.  DESIGN.md
+documents the substitution per program.
+"""
+
+from repro.workloads.uniprocessor import (
+    WORKLOADS,
+    build_workload,
+    build_process,
+    kernel_names,
+)
+from repro.workloads.splash import SPLASH_APPS, build_app
+from repro.workloads.synthetic import (
+    StreamSpec,
+    build_stream,
+    build_stream_process,
+)
+from repro.workloads.characterize import (
+    profile_program,
+    profile_kernel,
+    characterization_table,
+)
+
+__all__ = [
+    "WORKLOADS",
+    "build_workload",
+    "build_process",
+    "kernel_names",
+    "SPLASH_APPS",
+    "build_app",
+    "StreamSpec",
+    "build_stream",
+    "build_stream_process",
+    "profile_program",
+    "profile_kernel",
+    "characterization_table",
+]

@@ -1,0 +1,138 @@
+"""Workload characterisation: measure what each stand-in actually does.
+
+DESIGN.md claims each kernel stresses particular resources (instruction
+mix, memory intensity, divide density, branchiness, footprint).  This
+module *measures* those properties by functional execution, so the
+claims are testable and the characterisation table can be printed next
+to the paper's workload descriptions.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.isa.opcodes import Op, OP_INFO, FU
+from repro.isa.executor import ArchState, Memory, execute
+
+
+@dataclass
+class Profile:
+    """Dynamic-instruction profile of one program run."""
+
+    name: str
+    instructions: int = 0
+    loads: int = 0
+    stores: int = 0
+    branches: int = 0
+    taken_branches: int = 0
+    fp_ops: int = 0
+    fp_divides: int = 0
+    int_muldiv: int = 0
+    sync_ops: int = 0
+    backoffs: int = 0
+    #: distinct data words touched (footprint proxy)
+    data_words: int = 0
+    #: distinct 4 KB data pages touched
+    data_pages: int = 0
+    #: distinct instructions executed (code working set, words)
+    code_words: int = 0
+    touched_words: set = field(default_factory=set, repr=False)
+    touched_pcs: set = field(default_factory=set, repr=False)
+
+    def rate(self, count):
+        return count / self.instructions if self.instructions else 0.0
+
+    @property
+    def memory_fraction(self):
+        return self.rate(self.loads + self.stores)
+
+    @property
+    def fp_fraction(self):
+        return self.rate(self.fp_ops)
+
+    @property
+    def branch_fraction(self):
+        return self.rate(self.branches)
+
+    @property
+    def divides_per_kinst(self):
+        return 1000.0 * self.rate(self.fp_divides)
+
+    def finalize(self):
+        self.data_words = len(self.touched_words)
+        self.data_pages = len({w >> 10 for w in self.touched_words})
+        self.code_words = len(self.touched_pcs)
+        return self
+
+
+_FP_UNITS = (FU.FPADD, FU.FPDIV)
+
+
+def profile_program(program, max_steps=2_000_000, memory=None):
+    """Execute ``program`` functionally, collecting a :class:`Profile`."""
+    if memory is None:
+        memory = Memory()
+        program.load(memory)
+    state = ArchState(entry=program.entry)
+    profile = Profile(program.name)
+    instructions = program.instructions
+    steps = 0
+    while not state.halted and steps < max_steps:
+        pc = state.pc
+        inst = instructions[pc]
+        info = inst.info
+        profile.instructions += 1
+        profile.touched_pcs.add(pc)
+        if info.is_load or info.is_store:
+            addr = state.regs[inst.rs1] + inst.imm
+            profile.touched_words.add(addr >> 2)
+            if info.is_load:
+                profile.loads += 1
+            else:
+                profile.stores += 1
+        if info.is_branch:
+            profile.branches += 1
+        if info.unit in _FP_UNITS:
+            profile.fp_ops += 1
+        if info.unit is FU.FPDIV:
+            profile.fp_divides += 1
+        if info.unit is FU.MULDIV:
+            profile.int_muldiv += 1
+        if info.is_sync:
+            profile.sync_ops += 1
+        if inst.op is Op.BACKOFF:
+            profile.backoffs += 1
+        execute(state, inst, memory)
+        if info.is_branch and state.pc != pc + 1:
+            profile.taken_branches += 1
+        steps += 1
+    return profile.finalize()
+
+
+def profile_kernel(name, scale=0.25, **kwargs):
+    """Profile one Spec89 stand-in by registry name."""
+    from repro.workloads.kernels import KERNELS
+    program = KERNELS[name](iterations=1, scale=scale,
+                            data_base=0x100000, **kwargs)
+    return profile_program(program)
+
+
+def characterization_table(scale=0.25, kernels=None):
+    """Render the measured characterisation of every kernel."""
+    from repro.workloads.kernels import KERNELS
+    from repro.experiments.report import render_table
+    names = sorted(kernels or KERNELS)
+    rows = []
+    for name in names:
+        p = profile_kernel(name, scale=scale)
+        rows.append((name, [
+            p.instructions,
+            "%.0f%%" % (100 * p.memory_fraction),
+            "%.0f%%" % (100 * p.fp_fraction),
+            "%.0f%%" % (100 * p.branch_fraction),
+            "%.1f" % p.divides_per_kinst,
+            p.data_pages,
+            p.code_words,
+        ]))
+    return render_table(
+        "Kernel characterisation (measured, one iteration)",
+        ["dyn.inst", "mem", "fp", "branch", "div/ki", "pages", "code"],
+        rows, col_width=10)

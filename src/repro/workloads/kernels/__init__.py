@@ -1,0 +1,36 @@
+"""Spec89 stand-in kernel registry.
+
+Each kernel is ``fn(name=..., code_base=..., data_base=..., scale=...,
+iterations=...) -> Program``.  ``iterations=None`` builds the continuous
+(throughput-measurement) form that loops forever; an integer builds a
+finite, functionally-testable form.
+"""
+
+from repro.workloads.kernels.linalg import (
+    mxm,
+    matrix300,
+    cholsky,
+    gmtry,
+    vpenta,
+    tomcatv,
+)
+from repro.workloads.kernels.transforms import cfft2d, emit, btrix
+from repro.workloads.kernels.integer import doduc, li, eqntott
+
+#: Kernel name -> builder.
+KERNELS = {
+    "mxm": mxm,
+    "matrix300": matrix300,
+    "cholsky": cholsky,
+    "gmtry": gmtry,
+    "vpenta": vpenta,
+    "tomcatv": tomcatv,
+    "cfft2d": cfft2d,
+    "emit": emit,
+    "btrix": btrix,
+    "doduc": doduc,
+    "li": li,
+    "eqntott": eqntott,
+}
+
+__all__ = ["KERNELS"] + sorted(KERNELS)

@@ -1,0 +1,138 @@
+"""Integer/branchy kernels: stand-ins for Doduc, Li, and Eqntott.
+
+* **doduc** — Monte-Carlo reactor simulation: a large, branchy body of
+  floating-point code.  The stand-in generates many distinct basic
+  blocks (code footprint beyond the primary instruction cache) selected
+  by data-dependent branches, with occasional divides (IC + FP stress).
+* **li** — the xlisp interpreter: pointer chasing through cons cells
+  with data-dependent branches (IC + irregular D stress).
+* **eqntott** — bit-vector comparison in a sort inner loop: compare-
+  heavy integer code with highly biased branches.
+"""
+
+from repro.isa.builder import AsmBuilder
+from repro.workloads.kernels.util import (
+    Loop,
+    OuterLoop,
+    scaled,
+    ipattern,
+)
+from repro.workloads.kernels.linalg import FDIV_BACKOFF
+
+
+def doduc(name="doduc", code_base=0, data_base=0x100000, scale=1.0,
+          iterations=None, n_blocks=None):
+    """Branchy FP code whose text footprint exceeds the I-cache.
+
+    Generates ``n_blocks`` distinct basic blocks (about 12 instructions
+    each, ~2700 instructions at the default 288 blocks — beyond the fast
+    profile's 2048-instruction I-cache).  Control flows block to block
+    through a data-dependent LCG, so the I-cache keeps missing, exactly
+    doduc's behaviour in the paper's IC workload.
+    """
+    if n_blocks is None:
+        n_blocks = scaled(288, scale, minimum=32)
+    b = AsmBuilder(name, code_base, data_base)
+    state = b.space("state", 64)
+    one = b.word("one", [1])
+    b.li("t3", one)
+    b.lwf("f1", 0, "t3")            # 1.0
+    b.li("s0", 12345)               # LCG state
+    b.la("s1", "state")
+    with OuterLoop(b, iterations):
+        # Visit a fixed chain of blocks; each block branches over a
+        # data-dependent condition, computes a little FP, and updates
+        # the LCG.
+        for blk in range(n_blocks):
+            skip = b.fresh_label("blk%d" % blk)
+            b.sll("t1", "s0", 3)
+            b.add("s0", "s0", "t1")
+            b.addi("s0", "s0", 4093)
+            b.andi("s0", "s0", 0x3FFF)
+            b.andi("t2", "s0", 1)
+            b.beq("t2", "zero", skip)
+            b.fadd("f2", "f2", "f1")
+            b.fmul("f3", "f2", "f1")
+            b.label(skip)
+            if blk % 16 == 15:
+                # occasional divide, like doduc's physics kernels
+                b.fadd("f4", "f2", "f1")
+                b.fdiv("f5", "f1", "f4")
+                b.backoff(FDIV_BACKOFF)
+            b.swf("f2", 4 * (blk % 64), "s1")
+    return b.build()
+
+
+def li(name="li", code_base=0, data_base=0x100000, scale=1.0,
+       iterations=None, n_cells=None):
+    """Cons-cell pointer chasing with data-dependent branches.
+
+    Builds a ring of cons cells (car = value, cdr = next pointer) with a
+    shuffled successor ordering, then repeatedly interprets it: follow
+    cdr, branch on car's low bits, update a tally — xlisp's memory
+    behaviour at a miniature scale.
+    """
+    if n_cells is None:
+        n_cells = scaled(512, scale, minimum=32)
+    b = AsmBuilder(name, code_base, data_base)
+    # Cons cells [car, cdr], built at assembly time: cell i holds value
+    # (3*i) & 0xff and points at cell (i*5 + 1) % n — a shuffled walk.
+    cells_addr = data_base  # first symbol lands at the segment base
+    image = []
+    for i in range(n_cells):
+        image.append((3 * i) & 0xFF)
+        image.append(cells_addr + 8 * ((i * 5 + 1) % n_cells))
+    cells = b.word("cells", image)
+    assert cells == cells_addr
+    with OuterLoop(b, iterations):
+        b.li("t0", cells)                     # current cell
+        b.li("s2", 0)                         # tally
+        with Loop(b, "s4", n_cells):
+            b.lw("t1", 0, "t0")               # car
+            b.andi("t2", "t1", 3)
+            is_odd = b.fresh_label("odd")
+            done = b.fresh_label("done")
+            b.bgtz("t2", is_odd)
+            b.add("s2", "s2", "t1")
+            b.j(done)
+            b.label(is_odd)
+            b.sub("s2", "s2", "t1")
+            b.label(done)
+            b.lw("t0", 4, "t0")               # follow cdr
+    return b.build()
+
+
+def eqntott(name="eqntott", code_base=0, data_base=0x100000, scale=1.0,
+            iterations=None, n=None):
+    """Bit-vector comparison loops (eqntott's cmppt inner loop).
+
+    Walks two arrays of packed bit-vectors comparing word by word with
+    early-out branches; eqntott famously spends most of its time here.
+    """
+    if n is None:
+        n = scaled(768, scale, minimum=64)
+    b = AsmBuilder(name, code_base, data_base)
+    va = b.word("va", ipattern(n, 13, 0xFF))
+    vb_image = ipattern(n, 13, 0xFF)         # mostly equal to va...
+    for i in range(0, n, 9):
+        vb_image[i] ^= 5                     # ...with sprinkled diffs
+    vb = b.word("vb", vb_image)
+    with OuterLoop(b, iterations):
+        b.li("s0", va)
+        b.li("s1", vb)
+        b.li("s2", 0)                         # comparison tally
+        with Loop(b, "s4", n):
+            b.lw("t1", 0, "s0")
+            b.lw("t2", 0, "s1")
+            eq = b.fresh_label("eq")
+            b.beq("t1", "t2", eq)
+            gt = b.fresh_label("gt")
+            b.blt("t2", "t1", gt)
+            b.addi("s2", "s2", -1)
+            b.j(eq)
+            b.label(gt)
+            b.addi("s2", "s2", 1)
+            b.label(eq)
+            b.addi("s0", "s0", 4)
+            b.addi("s1", "s1", 4)
+    return b.build()

@@ -1,0 +1,250 @@
+"""Dense linear-algebra kernels: stand-ins for Mxm, Matrix300, Cholsky,
+Gmtry, Vpenta, and Tomcatv.
+
+Characteristics targeted (paper Section 4.3 / Table 5):
+
+* **mxm** — NASA7's matrix-multiply kernel; unit-stride FP multiply-add
+  with moderate footprint.
+* **matrix300** — larger matrices, column-strided inner loop: streams
+  through the data cache (DC stress).
+* **cholsky** — triangular factorisation with a reciprocal (FP divide)
+  per pivot and column-major strides (FP + DT stress).
+* **gmtry** — Gaussian elimination: a divide per pivot row and row
+  operations across a wide matrix (DC + DT stress).
+* **vpenta** — pentadiagonal inversion: streams five diagonals with a
+  divide per element (DC + FP stress).
+* **tomcatv** — mesh-generation sweep: several co-walked arrays with a
+  divide per point (DC + FP stress).
+
+BACKOFF hints follow the divides whose consumers are nearby — the paper's
+compiler support for tolerating long instruction latency on multithreaded
+processors (interpreted as an explicit switch by the blocked scheme and
+as a NOP by the single-context baseline).
+"""
+
+from repro.isa.builder import AsmBuilder
+from repro.workloads.kernels.util import (
+    Loop,
+    OuterLoop,
+    scaled,
+    fpattern,
+)
+
+#: Backoff hint length after an FP divide: slightly under the 61-cycle
+#: divide latency so the context wakes just before its result is ready.
+FDIV_BACKOFF = 52
+
+
+def mxm(name="mxm", code_base=0, data_base=0x100000, scale=1.0,
+        iterations=None, n=None):
+    """C = A @ B with unit-stride inner product (n defaults to 20·scale)."""
+    if n is None:
+        n = scaled(20, scale)
+    b = AsmBuilder(name, code_base, data_base)
+    a = b.word("a", fpattern(n * n, 7, 31))
+    bm = b.word("b", fpattern(n * n, 3, 15))
+    c = b.space("c", n * n)
+    with OuterLoop(b, iterations):
+        b.li("s0", a)                  # &A[i,0]
+        b.li("s2", c)                  # &C[i,0]
+        with Loop(b, "s4", n):         # i loop
+            b.li("s1", bm)             # &B[0,j]
+            b.move("s3", "s2")         # &C[i,j]
+            with Loop(b, "s5", n):     # j loop
+                b.move("t0", "s0")     # &A[i,k]
+                b.move("t1", "s1")     # &B[k,j]
+                b.fcvtif("f2", "zero")  # sum = 0.0
+                with Loop(b, "t5", n):  # k loop
+                    b.lwf("f0", 0, "t0")
+                    b.lwf("f1", 0, "t1")
+                    b.addi("t0", "t0", 4)
+                    b.addi("t1", "t1", 4 * n)
+                    b.fmul("f3", "f0", "f1")
+                    b.fadd("f2", "f2", "f3")
+                b.swf("f2", 0, "s3")
+                b.addi("s3", "s3", 4)
+                b.addi("s1", "s1", 4)
+            b.addi("s0", "s0", 4 * n)
+            b.addi("s2", "s2", 4 * n)
+    return b.build()
+
+
+def matrix300(name="matrix300", code_base=0, data_base=0x100000,
+              scale=1.0, iterations=None, n=None):
+    """Streaming rank-1 updates over a large matrix (DC stress).
+
+    ``M[i,j] += x[i] * y[j]`` with a column-major walk, so consecutive
+    accesses are ``4n`` bytes apart and every line is touched once per
+    sweep — the data cache sees a pure streaming pattern.
+    """
+    if n is None:
+        n = scaled(64, scale)
+    b = AsmBuilder(name, code_base, data_base)
+    m = b.word("m", fpattern(n * n, 5, 63))
+    x = b.word("x", fpattern(n, 11, 31))
+    y = b.word("y", fpattern(n, 13, 31))
+    with OuterLoop(b, iterations):
+        b.li("s1", y)
+        b.li("s2", m)                  # &M[0,j]
+        with Loop(b, "s4", n):         # j loop (columns)
+            b.lwf("f1", 0, "s1")       # y[j]
+            b.li("s0", x)
+            b.move("t0", "s2")         # &M[i,j], stride 4n... column-major
+            with Loop(b, "t5", n):     # i loop
+                b.lwf("f0", 0, "s0")   # x[i]
+                b.lwf("f2", 0, "t0")   # M[i,j]
+                b.fmul("f3", "f0", "f1")
+                b.fadd("f2", "f2", "f3")
+                b.swf("f2", 0, "t0")
+                b.addi("s0", "s0", 4)
+                b.addi("t0", "t0", 4 * n)
+            b.addi("s1", "s1", 4)
+            b.addi("s2", "s2", 4)      # next column start
+    return b.build()
+
+
+def cholsky(name="cholsky", code_base=0, data_base=0x100000, scale=1.0,
+            iterations=None, n=None):
+    """Column-oriented triangular factorisation sweep (FP divide + DT).
+
+    For each pivot j: one reciprocal (FP divide), then scale the column
+    and update the trailing columns with large strides.
+    """
+    if n is None:
+        n = scaled(28, scale)
+    b = AsmBuilder(name, code_base, data_base)
+    # The fixed-length column walk from late pivots runs past row n, so
+    # the matrix carries (n//2 + 1) rows of padding — the walk stays
+    # inside this kernel's own array.
+    m = b.word("m", fpattern(n * n + (n // 2 + 1) * n, 9, 63))
+    one = b.word("one", [1])
+    with OuterLoop(b, iterations):
+        b.li("s0", m)                   # &M[j,j] walks the diagonal
+        with Loop(b, "s4", n - 1):      # pivot loop
+            b.lwf("f0", 0, "s0")        # pivot
+            b.li("t3", one)
+            b.lwf("f1", 0, "t3")        # 1.0
+            b.fadd("f0", "f0", "f1")    # keep the pivot away from zero
+            b.fdiv("f2", "f1", "f0")    # reciprocal: 61-cycle divide
+            b.backoff(FDIV_BACKOFF)     # hint: consumer follows shortly
+            b.move("t0", "s0")
+            with Loop(b, "t5", n // 2):  # scale part of the column
+                b.addi("t0", "t0", 4 * n)   # column-major: stride n
+                b.lwf("f3", 0, "t0")
+                b.fmul("f3", "f3", "f2")
+                b.swf("f3", 0, "t0")
+            b.addi("s0", "s0", 4 * n + 4)   # next diagonal element
+    return b.build()
+
+
+def gmtry(name="gmtry", code_base=0, data_base=0x100000, scale=1.0,
+          iterations=None, n=None):
+    """Gaussian elimination sweep (DC + DT stress).
+
+    One divide per pivot row, then a row elimination walking two rows in
+    lockstep; the matrix is wide so each sweep streams well beyond the
+    primary cache.
+    """
+    if n is None:
+        n = scaled(40, scale)
+    width = 2 * n
+    b = AsmBuilder(name, code_base, data_base)
+    m = b.word("m", fpattern(n * width, 7, 63))
+    one = b.word("one", [1])
+    with OuterLoop(b, iterations):
+        b.li("s0", m)                        # pivot row
+        with Loop(b, "s4", n - 1):           # pivot loop
+            b.li("t3", one)
+            b.lwf("f1", 0, "t3")
+            b.lwf("f0", 0, "s0")
+            b.fadd("f0", "f0", "f1")
+            b.fdiv("f2", "f1", "f0")         # 1 / pivot
+            b.backoff(FDIV_BACKOFF)
+            b.move("t0", "s0")               # pivot row walker
+            b.addi("t1", "s0", 4 * width)    # next row walker
+            with Loop(b, "t5", width):       # eliminate next row
+                b.lwf("f3", 0, "t0")
+                b.lwf("f4", 0, "t1")
+                b.fmul("f5", "f3", "f2")
+                b.fsub("f4", "f4", "f5")
+                b.swf("f4", 0, "t1")
+                b.addi("t0", "t0", 4)
+                b.addi("t1", "t1", 4)
+            b.addi("s0", "s0", 4 * width)
+    return b.build()
+
+
+def vpenta(name="vpenta", code_base=0, data_base=0x100000, scale=1.0,
+           iterations=None, n=None):
+    """Pentadiagonal forward elimination (DC + FP-divide stress).
+
+    Streams five diagonal arrays and the RHS in lockstep with one divide
+    per element — NASA7's vpenta is exactly this shape.
+    """
+    if n is None:
+        n = scaled(700, scale, minimum=64)
+    b = AsmBuilder(name, code_base, data_base)
+    diags = [b.word("d%d" % i, fpattern(n, 3 + 2 * i, 31))
+             for i in range(5)]
+    rhs = b.word("rhs", fpattern(n, 5, 31))
+    one = b.word("one", [1])
+    with OuterLoop(b, iterations):
+        for i, d in enumerate(diags):
+            b.li(("s%d" % i), d)
+        b.li("s5", rhs)
+        b.li("t3", one)
+        b.lwf("f1", 0, "t3")               # 1.0
+        with Loop(b, "s6", n):
+            b.lwf("f0", 0, "s0")           # main diagonal
+            b.fadd("f0", "f0", "f1")
+            b.fdiv("f2", "f1", "f0")       # reciprocal
+            b.backoff(FDIV_BACKOFF)
+            b.lwf("f3", 0, "s1")
+            b.lwf("f4", 0, "s2")
+            b.lwf("f5", 0, "s3")
+            b.lwf("f6", 0, "s4")
+            b.lwf("f7", 0, "s5")
+            b.fmul("f3", "f3", "f2")
+            b.fmul("f4", "f4", "f2")
+            b.fmul("f5", "f5", "f2")
+            b.fmul("f6", "f6", "f2")
+            b.fmul("f7", "f7", "f2")
+            b.swf("f3", 0, "s1")
+            b.swf("f7", 0, "s5")
+            for r in range(6):
+                b.addi("s%d" % r, "s%d" % r, 4)
+    return b.build()
+
+
+def tomcatv(name="tomcatv", code_base=0, data_base=0x100000, scale=1.0,
+            iterations=None, n=None):
+    """Mesh-generation relaxation sweep over two co-walked 2D grids.
+
+    A 3-point relaxation with one divide per point, walking rows of two
+    grids simultaneously (tomcatv's X/Y coordinate arrays).
+    """
+    if n is None:
+        n = scaled(52, scale)
+    b = AsmBuilder(name, code_base, data_base)
+    gx = b.word("gx", fpattern(n * n, 5, 31))
+    gy = b.word("gy", fpattern(n * n, 7, 31))
+    two = b.word("two", [2])
+    with OuterLoop(b, iterations):
+        b.li("t3", two)
+        b.lwf("f1", 0, "t3")               # 2.0
+        b.li("s0", gx)
+        b.li("s1", gy)
+        with Loop(b, "s4", n * n - 2):
+            b.lwf("f2", 0, "s0")
+            b.lwf("f3", 4, "s0")
+            b.lwf("f4", 8, "s0")
+            b.fadd("f5", "f2", "f4")
+            b.lwf("f6", 0, "s1")
+            b.fadd("f6", "f6", "f1")
+            b.fdiv("f7", "f5", "f6")       # relaxation quotient
+            b.backoff(FDIV_BACKOFF)
+            b.fadd("f3", "f3", "f7")
+            b.swf("f3", 4, "s0")
+            b.addi("s0", "s0", 4)
+            b.addi("s1", "s1", 4)
+    return b.build()

@@ -1,0 +1,133 @@
+"""Transform/stencil kernels: stand-ins for Cfft2d, Emit, and Btrix.
+
+* **cfft2d** — butterfly sweeps with doubling strides over a complex
+  array: the classic FFT access pattern that thrashes a direct-mapped
+  cache (DC stress).
+* **emit** — vortex-emission style short FP loops over small state with
+  divide chains (FP stress, small footprint).
+* **btrix** — block-tridiagonal solver walking a 4-D array: page-sized
+  strides touch one line per page across dozens of pages (DT stress).
+"""
+
+from repro.isa.builder import AsmBuilder
+from repro.workloads.kernels.util import (
+    Loop,
+    OuterLoop,
+    scaled,
+    fpattern,
+)
+from repro.workloads.kernels.linalg import FDIV_BACKOFF
+
+
+def cfft2d(name="cfft2d", code_base=0, data_base=0x100000, scale=1.0,
+           iterations=None, n=None):
+    """Butterfly passes with doubling stride over a complex array.
+
+    Standard radix-2 pass structure: pass p pairs elements s = 2**p
+    apart within blocks of 2s.  Each pass streams the whole array with a
+    different stride, which is the access pattern that makes FFTs hard
+    on direct-mapped caches.  The pass loop is unrolled at build time
+    (log2 n passes), so all strides are immediate constants.
+    """
+    if n is None:
+        n = scaled(2048, scale, minimum=64)
+    if n & (n - 1):
+        raise ValueError("cfft2d size must be a power of two")
+    passes = n.bit_length() - 1
+    b = AsmBuilder(name, code_base, data_base)
+    re = b.word("re", fpattern(n, 7, 31))
+    im = b.word("im", fpattern(n, 11, 31))
+    with OuterLoop(b, iterations):
+        for p in range(passes):
+            s_el = 1 << p                   # stride in elements
+            stride = 4 * s_el               # stride in bytes
+            blocks = n >> (p + 1)
+            b.li("s0", re)
+            b.li("s1", im)
+            b.li("s2", stride)      # register: strides can exceed imm range
+            with Loop(b, "s6", blocks):
+                with Loop(b, "s5", s_el):
+                    b.add("t0", "s0", "s2")      # partner (re)
+                    b.add("t1", "s1", "s2")      # partner (im)
+                    b.lwf("f0", 0, "s0")
+                    b.lwf("f1", 0, "t0")
+                    b.lwf("f2", 0, "s1")
+                    b.lwf("f3", 0, "t1")
+                    b.fadd("f4", "f0", "f1")     # butterfly
+                    b.fsub("f5", "f0", "f1")
+                    b.fadd("f6", "f2", "f3")
+                    b.fsub("f7", "f2", "f3")
+                    b.swf("f4", 0, "s0")
+                    b.swf("f5", 0, "t0")
+                    b.swf("f6", 0, "s1")
+                    b.swf("f7", 0, "t1")
+                    b.addi("s0", "s0", 4)
+                    b.addi("s1", "s1", 4)
+                # skip the partner half of the block
+                b.add("s0", "s0", "s2")
+                b.add("s1", "s1", "s2")
+    return b.build()
+
+
+def emit(name="emit", code_base=0, data_base=0x100000, scale=1.0,
+         iterations=None, n=None):
+    """Short FP loops over small particle state with divide chains."""
+    if n is None:
+        n = scaled(96, scale, minimum=16)
+    b = AsmBuilder(name, code_base, data_base)
+    vel = b.word("vel", fpattern(n, 5, 15))
+    pos = b.word("pos", fpattern(n, 3, 15))
+    one = b.word("one", [1])
+    with OuterLoop(b, iterations):
+        b.li("t3", one)
+        b.lwf("f1", 0, "t3")
+        b.li("s0", vel)
+        b.li("s1", pos)
+        with Loop(b, "s4", n):
+            b.lwf("f0", 0, "s0")
+            b.lwf("f2", 0, "s1")
+            b.fadd("f3", "f0", "f1")        # v + 1
+            b.fdiv("f4", "f2", "f3")        # x / (v + 1)
+            b.backoff(FDIV_BACKOFF)
+            b.fmul("f5", "f4", "f0")
+            b.fadd("f2", "f2", "f5")
+            b.swf("f2", 0, "s1")
+            b.addi("s0", "s0", 4)
+            b.addi("s1", "s1", 4)
+    return b.build()
+
+
+def btrix(name="btrix", code_base=0, data_base=0x100000, scale=1.0,
+          iterations=None, n_pages=None):
+    """Page-strided sweep over a large block array (data-TLB stress).
+
+    Touches a handful of words on each of ``n_pages`` 4 KB pages per
+    sweep — far more pages than the TLB holds — with a small FP update
+    per touch, mimicking btrix's walk across its 4-D array blocks.
+    """
+    if n_pages is None:
+        # More pages than the TLB holds (16 in the fast profile) but a
+        # footprint that still fits the L2, so btrix stresses the TLB
+        # without turning every miss into a full memory access.
+        n_pages = scaled(24, scale, minimum=20)
+    words_per_page = 1024                       # 4 KB pages
+    b = AsmBuilder(name, code_base, data_base)
+    # The first line of each page is pre-initialised (build-time data);
+    # the rest of each page is zero-filled pad that only exists to space
+    # the touched lines one page apart.
+    page_image = []
+    for page in range(n_pages):
+        page_image.extend([float(3 + 7 * page)] * 2)
+        page_image.extend([0.0] * (words_per_page - 2))
+    blocks = b.word("blocks", page_image)
+    with OuterLoop(b, iterations):
+        b.li("s0", blocks)
+        b.li("s2", 4 * words_per_page)          # page stride
+        with Loop(b, "s4", n_pages):
+            b.lwf("f0", 0, "s0")
+            b.lwf("f1", 4, "s0")
+            b.fadd("f2", "f0", "f1")
+            b.fmul("f2", "f2", "f1")
+            b.swf("f2", 0, "s0")
+            b.add("s0", "s0", "s2")             # next page
+    return b.build()

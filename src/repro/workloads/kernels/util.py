@@ -1,0 +1,90 @@
+"""Helpers for writing kernels against :class:`AsmBuilder`.
+
+The kernels are the "compiled output" of our pretend toolchain, so they
+are written the way a compiler would schedule them for this pipeline:
+counted loops, address strength-reduction, and BACKOFF hints after
+floating-point divides whose consumers are nearby (the paper's compiler
+support for the interleaved/blocked schemes' switch instructions).
+"""
+
+from repro.isa.builder import AsmBuilder
+
+
+class Loop:
+    """A counted loop: ``with Loop(b, "t7", n):`` emits body once.
+
+    Uses ``reg`` as the down-counter; the loop body must preserve it.
+    """
+
+    def __init__(self, builder, reg, count):
+        self.b = builder
+        self.reg = reg
+        self.count = count
+        self.top = builder.fresh_label("loop")
+
+    def __enter__(self):
+        self.b.li(self.reg, self.count)
+        self.b.label(self.top)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is None:
+            self.b.addi(self.reg, self.reg, -1)
+            self.b.bgtz(self.reg, self.top)
+        return False
+
+
+class OuterLoop:
+    """The kernel's repetition wrapper.
+
+    ``iterations=None`` (the throughput-measurement mode) loops forever;
+    an integer runs the body that many times and falls through to HALT.
+    """
+
+    def __init__(self, builder, iterations, counter_reg="s7"):
+        self.b = builder
+        self.iterations = iterations
+        self.reg = counter_reg
+        self.top = builder.fresh_label("outer")
+
+    def __enter__(self):
+        if self.iterations is not None:
+            self.b.li(self.reg, self.iterations)
+        self.b.label(self.top)
+        return self
+
+    def __exit__(self, exc_type, exc, tb):
+        if exc_type is not None:
+            return False
+        b = self.b
+        if self.iterations is None:
+            b.j(self.top)
+        else:
+            b.addi(self.reg, self.reg, -1)
+            b.bgtz(self.reg, self.top)
+        b.halt()
+        return False
+
+
+def scaled(n, scale, minimum=4):
+    """Scale a footprint parameter, keeping it even and bounded below."""
+    v = max(minimum, int(round(n * scale)))
+    return v + (v & 1)
+
+
+def fpattern(n, mult, mask):
+    """``[float((i * mult) & mask) for i in range(n)]``.
+
+    Kernel arrays are initialised at *build* time in the data segment
+    rather than by emitted code: the paper explicitly excludes each
+    application's initialisation phase from simulation ("not generating
+    references to the simulator until the initialization phase ... had
+    been completed"), and runtime init loops would dominate our short
+    measurement windows.
+    """
+    return [float((i * mult) & mask) for i in range(n)]
+
+
+def ipattern(n, mult, mask):
+    """``[(i * mult) & mask for i in range(n)]`` (see fpattern)."""
+    return [(i * mult) & mask for i in range(n)]

@@ -1,0 +1,55 @@
+"""SPLASH stand-in applications (paper Table 9).
+
+=========  =====================================  =======================
+App        Behaviour reproduced                   Dominant behaviour
+=========  =====================================  =======================
+mp3d       particle scatter into shared cells     write-shared migratory
+barnes     N-body force computation               read-shared + FP divide
+water      pairwise molecular dynamics            FP divide + lock
+ocean      banded grid relaxation                 neighbour comm + barrier
+locus      wire routing through a cost grid       locks + migratory data
+pthor      logic simulation via task queue        lock-serialised dequeue
+cholesky   serial column-chain factorisation      no usable parallelism
+=========  =====================================  =======================
+"""
+
+from repro.workloads.splash import (
+    mp3d,
+    barnes,
+    water,
+    ocean,
+    locus,
+    pthor,
+    cholesky,
+)
+from repro.workloads.splash.base import AppInstance, SharedLayout
+
+#: App name -> builder ``build(n_threads, threads_per_node, scale, ...)``.
+SPLASH_APPS = {
+    "mp3d": mp3d.build,
+    "barnes": barnes.build,
+    "water": water.build,
+    "ocean": ocean.build,
+    "locus": locus.build,
+    "pthor": pthor.build,
+    "cholesky": cholesky.build,
+}
+
+#: Presentation order used by the paper's Tables 9 and 10.
+SPLASH_ORDER = ("mp3d", "barnes", "water", "ocean", "locus", "pthor",
+                "cholesky")
+
+
+def build_app(name, n_threads, threads_per_node=1, scale=1.0, **kwargs):
+    """Build a SPLASH stand-in instance by name."""
+    try:
+        builder = SPLASH_APPS[name]
+    except KeyError:
+        raise KeyError("unknown SPLASH app %r (have %s)"
+                       % (name, ", ".join(sorted(SPLASH_APPS)))) from None
+    return builder(n_threads, threads_per_node=threads_per_node,
+                   scale=scale, **kwargs)
+
+
+__all__ = ["SPLASH_APPS", "SPLASH_ORDER", "build_app", "AppInstance",
+           "SharedLayout"]

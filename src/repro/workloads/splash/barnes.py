@@ -1,0 +1,100 @@
+"""Barnes-Hut stand-in: N-body force computation.
+
+Sharing pattern reproduced: body positions and masses are read-shared by
+every thread each step (broadcast-style communication), accelerations are
+thread-private.  The force kernel is floating-point-divide heavy — the
+paper singles out Barnes (with Water) as gaining the most from the
+interleaved scheme because of its long instruction latencies.
+"""
+
+from repro.workloads.kernels.util import Loop, scaled
+from repro.workloads.kernels.linalg import FDIV_BACKOFF
+from repro.workloads.splash.base import (
+    SharedLayout,
+    AppInstance,
+    thread_builder,
+    chunk_bounds,
+)
+
+
+def build(n_threads, threads_per_node=1, scale=1.0,
+          tid_offset=0, shared_base=None, barrier_base=1, steps=2,
+          n_bodies=None):
+    if n_bodies is None:
+        n_bodies = scaled(160, scale, minimum=max(16, n_threads))
+    layout = (SharedLayout() if shared_base is None
+              else SharedLayout(shared_base))
+    px = layout.alloc("px", n_bodies,
+                      init=[(5 * i) % 89 + 1 for i in range(n_bodies)])
+    py = layout.alloc("py", n_bodies,
+                      init=[(11 * i) % 83 + 1 for i in range(n_bodies)])
+    mass = layout.alloc("mass", n_bodies,
+                        init=[1 + (i % 7) for i in range(n_bodies)])
+    acc = layout.alloc("acc", n_bodies, init=[0] * n_bodies)
+
+    programs = []
+    for tid in range(n_threads):
+        node = tid // threads_per_node
+        lo, hi = chunk_bounds(n_bodies, n_threads, tid)
+        b = thread_builder("barnes", tid + tid_offset)
+        one = b.word("one", [1])
+        with Loop(b, "s6", steps):
+            b.li("t3", one)
+            b.lwf("f1", 0, "t3")             # 1.0 (softening)
+            b.li("s0", px + 4 * lo)          # my body cursor (x)
+            b.li("s1", py + 4 * lo)
+            b.li("s7", acc + 4 * lo)
+            with Loop(b, "s4", hi - lo):     # for each of my bodies
+                b.lwf("f2", 0, "s0")         # xi
+                b.lwf("f3", 0, "s1")         # yi
+                b.fcvtif("f4", "zero")       # r2 accumulator
+                b.li("t0", px)               # walk all bodies
+                b.li("t1", py)
+                with Loop(b, "t5", n_bodies):
+                    b.lwf("f5", 0, "t0")
+                    b.lwf("f6", 0, "t1")
+                    b.fsub("f5", "f5", "f2")     # dx
+                    b.fsub("f6", "f6", "f3")     # dy
+                    b.fmul("f5", "f5", "f5")
+                    b.fmul("f6", "f6", "f6")
+                    b.fadd("f5", "f5", "f6")
+                    b.fadd("f4", "f4", "f5")     # accumulate r^2
+                    b.addi("t0", "t0", 4)
+                    b.addi("t1", "t1", 4)
+                # Normalisations: the divide-heavy tail of the kernel.
+                b.fadd("f4", "f4", "f1")
+                b.fdiv("f7", "f1", "f4")         # 1 / sum r^2
+                b.backoff(FDIV_BACKOFF)
+                b.fmul("f8", "f7", "f2")
+                b.fadd("f9", "f8", "f7")
+                b.swf("f9", 0, "s7")             # store acceleration
+                b.addi("s0", "s0", 4)
+                b.addi("s1", "s1", 4)
+                b.addi("s7", "s7", 4)
+            b.barrier(barrier_base)
+            # Update phase: integrate our own bodies' positions.  The
+            # writes invalidate every other node's cached copies, so the
+            # next step's force phase re-communicates — barnes's
+            # per-step broadcast pattern.
+            b.li("s0", px + 4 * lo)
+            b.li("s1", py + 4 * lo)
+            b.li("s7", acc + 4 * lo)
+            with Loop(b, "s4", hi - lo):
+                b.lwf("f2", 0, "s0")
+                b.lwf("f3", 0, "s1")
+                b.lwf("f4", 0, "s7")
+                b.fadd("f2", "f2", "f4")
+                b.fadd("f3", "f3", "f4")
+                b.swf("f2", 0, "s0")
+                b.swf("f3", 0, "s1")
+                b.addi("s0", "s0", 4)
+                b.addi("s1", "s1", 4)
+                b.addi("s7", "s7", 4)
+            b.barrier(barrier_base)
+        b.halt()
+        programs.append(b.build())
+        layout.placement.append((acc + 4 * lo, hi - lo, node))
+
+    return AppInstance("barnes", programs, layout,
+                       barriers={barrier_base: n_threads},
+                       total_work=n_bodies * n_bodies * steps)

@@ -1,0 +1,105 @@
+"""Shared infrastructure for the SPLASH stand-in applications.
+
+Each application builds one program per thread plus a shared data layout.
+Thread-private data is page-aligned and pinned to the thread's node (the
+home-node placement a DASH-era OS would do); shared arrays default to
+round-robin page interleaving.
+"""
+
+from repro.isa.builder import AsmBuilder
+
+#: Shared data region (above all code and private segments).
+SHARED_BASE = 0x8000000
+#: Per-thread code regions.
+CODE_BASE = 0x0C00000
+CODE_STRIDE = 0x80000
+#: Per-thread private data-segment bases (for AsmBuilder scratch).
+PRIVATE_BASE = 0x4000000
+PRIVATE_STRIDE = 0x100000
+
+_PAGE = 4096
+_LINE = 32
+
+
+class SharedLayout:
+    """Allocator for the application's shared address space."""
+
+    def __init__(self, base=SHARED_BASE):
+        self.base = base
+        self.cursor = base
+        self.symbols = {}
+        self.inits = []          # (addr, [values])
+        self.placement = []      # (addr, n_words, node | "interleave")
+
+    def alloc(self, name, n_words, init=None, placement="interleave"):
+        """Reserve ``n_words``; returns the address.
+
+        ``placement`` of a node id page-aligns the block and pins its
+        pages to that node; "interleave" line-aligns it and leaves the
+        default round-robin page homes.
+        """
+        align = _PAGE if placement != "interleave" else _LINE
+        self.cursor = (self.cursor + align - 1) // align * align
+        addr = self.cursor
+        self.cursor += 4 * n_words
+        self.symbols[name] = addr
+        if init is not None:
+            if len(init) != n_words:
+                raise ValueError("init length mismatch for %r" % name)
+            self.inits.append((addr, list(init)))
+        self.placement.append((addr, n_words, placement))
+        return addr
+
+    def load(self, memory):
+        for addr, values in self.inits:
+            memory.store_words(addr, values)
+
+
+class AppInstance:
+    """A built application: thread programs + shared state + metadata."""
+
+    def __init__(self, name, programs, layout, barriers=None,
+                 total_work=0):
+        self.name = name
+        self.programs = programs
+        self.layout = layout
+        self.barriers = dict(barriers or {})
+        #: Nominal work units (for sanity checks / reporting).
+        self.total_work = total_work
+
+    @property
+    def n_threads(self):
+        return len(self.programs)
+
+    @property
+    def placement(self):
+        return self.layout.placement
+
+    def load(self, memory):
+        self.layout.load(memory)
+        for program in self.programs:
+            program.load(memory)
+
+
+def thread_builder(app_name, tid):
+    """An AsmBuilder for thread ``tid`` with standard code/data bases.
+
+    Bases are staggered by odd line-multiples so that identically
+    laid-out thread programs do not alias onto the same direct-mapped
+    cache sets (the multiprocessor's I-cache is ideal, but the SP
+    uniprocessor workload shares one real I-cache between four of
+    these programs).
+    """
+    return AsmBuilder("%s.t%d" % (app_name, tid),
+                      code_base=CODE_BASE + tid * (CODE_STRIDE + 0x10E0),
+                      data_base=PRIVATE_BASE + tid * (PRIVATE_STRIDE
+                                                      + 0x1280))
+
+
+def chunk_bounds(total, n_threads, tid):
+    """[start, end) of thread ``tid``'s contiguous share of ``total``."""
+    base = total // n_threads
+    extra = total % n_threads
+    start = tid * base + min(tid, extra)
+    end = start + base + (1 if tid < extra else 0)
+    return start, end

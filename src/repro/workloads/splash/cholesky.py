@@ -1,0 +1,58 @@
+"""Cholesky stand-in: sparse factorisation with a serial column chain.
+
+Sharing pattern reproduced: each column update depends on the previous
+column, so the factorisation is a chain of phases in which exactly one
+thread does work while the rest wait at a barrier.  Adding hardware
+contexts adds threads but no extra usable parallelism — the paper's
+Cholesky is the one SPLASH application that shows *no* gain from
+multiple contexts, and this is why.
+"""
+
+from repro.workloads.kernels.util import Loop, scaled
+from repro.workloads.kernels.linalg import FDIV_BACKOFF
+from repro.workloads.splash.base import (
+    SharedLayout,
+    AppInstance,
+    thread_builder,
+)
+
+_COL_WORDS = 48
+
+
+def build(n_threads, threads_per_node=1, scale=1.0,
+          tid_offset=0, shared_base=None, barrier_base=1, n_columns=None):
+    if n_columns is None:
+        n_columns = scaled(40, scale, minimum=8)
+    layout = (SharedLayout() if shared_base is None
+              else SharedLayout(shared_base))
+    matrix = layout.alloc(
+        "matrix", n_columns * _COL_WORDS,
+        init=[(3 * i) % 29 + 1 for i in range(n_columns * _COL_WORDS)])
+
+    programs = []
+    for tid in range(n_threads):
+        b = thread_builder("cholesky", tid + tid_offset)
+        one = b.word("one", [1])
+        b.li("t3", one)
+        b.lwf("f1", 0, "t3")
+        for j in range(n_columns):
+            if j % n_threads == tid:
+                # This thread owns column j: pivot divide + column scale.
+                col = matrix + 4 * j * _COL_WORDS
+                b.li("s0", col)
+                b.lwf("f0", 0, "s0")
+                b.fadd("f0", "f0", "f1")
+                b.fdiv("f2", "f1", "f0")
+                b.backoff(FDIV_BACKOFF)
+                with Loop(b, "t5", _COL_WORDS - 1):
+                    b.addi("s0", "s0", 4)
+                    b.lwf("f3", 0, "s0")
+                    b.fmul("f3", "f3", "f2")
+                    b.swf("f3", 0, "s0")
+            b.barrier(barrier_base)
+        b.halt()
+        programs.append(b.build())
+
+    return AppInstance("cholesky", programs, layout,
+                       barriers={barrier_base: n_threads},
+                       total_work=n_columns * _COL_WORDS)

@@ -1,0 +1,67 @@
+"""LocusRoute stand-in: wire routing through a shared cost grid.
+
+Sharing pattern reproduced: threads route wires by read-modify-writing
+runs of a shared cost array under per-region locks; which region a wire
+lands in is pseudo-random (per-thread LCG), so both the cost-grid lines
+and the locks migrate between processors.
+"""
+
+from repro.workloads.kernels.util import Loop, scaled
+from repro.workloads.splash.base import (
+    SharedLayout,
+    AppInstance,
+    thread_builder,
+    chunk_bounds,
+)
+
+_REGIONS = 16
+_REGION_WORDS = 64
+_RUN = 12           # cells touched per wire
+
+
+def build(n_threads, threads_per_node=1, scale=1.0,
+          tid_offset=0, shared_base=None, barrier_base=1, n_wires=None):
+    if n_wires is None:
+        n_wires = scaled(256, scale, minimum=max(16, n_threads))
+    layout = (SharedLayout() if shared_base is None
+              else SharedLayout(shared_base))
+    cost = layout.alloc("cost", _REGIONS * _REGION_WORDS,
+                        init=[1] * (_REGIONS * _REGION_WORDS))
+    # One lock per region, each on its own cache line.
+    locks = layout.alloc("locks", _REGIONS * 8,
+                         init=[0] * (_REGIONS * 8))
+
+    programs = []
+    for tid in range(n_threads):
+        lo, hi = chunk_bounds(n_wires, n_threads, tid)
+        b = thread_builder("locus", tid + tid_offset)
+        b.li("s0", 12345 + 7 * tid)           # per-thread LCG state
+        b.li("s1", cost)
+        b.li("s2", locks)
+        with Loop(b, "s4", hi - lo):          # my wires
+            # region = lcg() % REGIONS
+            b.sll("t0", "s0", 3)
+            b.add("s0", "s0", "t0")
+            b.addi("s0", "s0", 4093)
+            b.andi("s0", "s0", 0x3FFF)
+            b.andi("t1", "s0", _REGIONS - 1)
+            # lock address: locks + region * 32 bytes
+            b.sll("t2", "t1", 5)
+            b.add("t2", "t2", "s2")
+            # cost-run address: cost + region * REGION_WORDS * 4
+            b.sll("t3", "t1", 8)              # * 64 words * 4 bytes
+            b.add("t3", "t3", "s1")
+            b.lock(0, "t2")
+            with Loop(b, "t5", _RUN):         # bump the run of cells
+                b.lw("t4", 0, "t3")
+                b.addi("t4", "t4", 1)
+                b.sw("t4", 0, "t3")
+                b.addi("t3", "t3", 4)
+            b.unlock(0, "t2")
+        b.barrier(barrier_base)
+        b.halt()
+        programs.append(b.build())
+
+    return AppInstance("locus", programs, layout,
+                       barriers={barrier_base: n_threads},
+                       total_work=n_wires * _RUN)

@@ -1,0 +1,76 @@
+"""MP3D stand-in: rarefied hypersonic flow (particle-in-cell).
+
+Sharing pattern reproduced: each thread owns a contiguous slice of the
+particle arrays (placed on its node), but all threads scatter increments
+into a small shared array of space cells — the migratory, write-shared
+traffic that makes MP3D the highest-communication SPLASH application.
+A barrier separates the time steps.
+"""
+
+from repro.workloads.kernels.util import Loop, scaled
+from repro.workloads.splash.base import (
+    SharedLayout,
+    AppInstance,
+    thread_builder,
+    chunk_bounds,
+)
+
+_CELLS = 64
+_CELL_SHIFT = 2   # cell = (int(position) >> shift) & (CELLS-1)
+
+
+def build(n_threads, threads_per_node=1, scale=1.0,
+          tid_offset=0, shared_base=None, barrier_base=1, steps=2,
+          n_particles=None):
+    if n_particles is None:
+        n_particles = scaled(1536, scale, minimum=n_threads * 8)
+    layout = (SharedLayout() if shared_base is None
+              else SharedLayout(shared_base))
+    pos = layout.alloc("pos", n_particles,
+                       init=[(7 * i) % 97 for i in range(n_particles)])
+    vel = layout.alloc("vel", n_particles,
+                       init=[1 + (i % 5) for i in range(n_particles)])
+    cells = layout.alloc("cells", _CELLS, init=[0] * _CELLS)
+
+    programs = []
+    for tid in range(n_threads):
+        node = tid // threads_per_node
+        lo, hi = chunk_bounds(n_particles, n_threads, tid)
+        b = thread_builder("mp3d", tid + tid_offset)
+        with Loop(b, "s6", steps):
+            b.li("s0", pos + 4 * lo)
+            b.li("s1", vel + 4 * lo)
+            b.li("s2", cells)
+            with Loop(b, "s4", hi - lo):
+                b.lw("t0", 0, "s0")          # position (int-valued)
+                b.lw("t1", 0, "s1")          # velocity
+                b.add("t0", "t0", "t1")      # move
+                b.andi("t0", "t0", 0x3FF)    # stay in the domain
+                b.sw("t0", 0, "s0")
+                # space-cell scatter: the write-shared hot spot
+                b.srl("t2", "t0", _CELL_SHIFT)
+                b.andi("t2", "t2", _CELLS - 1)
+                b.sll("t2", "t2", 2)
+                b.add("t2", "t2", "s2")
+                b.lw("t3", 0, "t2")
+                b.addi("t3", "t3", 1)
+                b.sw("t3", 0, "t2")
+                # occasional collision: reverse velocity
+                b.andi("t4", "t0", 7)
+                no_coll = b.fresh_label("nc")
+                b.bne("t4", "zero", no_coll)
+                b.sub("t1", "zero", "t1")
+                b.sw("t1", 0, "s1")
+                b.label(no_coll)
+                b.addi("s0", "s0", 4)
+                b.addi("s1", "s1", 4)
+            b.barrier(barrier_base)
+        b.halt()
+        programs.append(b.build())
+        # Pin this thread's particle slice to its node.
+        layout.placement.append((pos + 4 * lo, hi - lo, node))
+        layout.placement.append((vel + 4 * lo, hi - lo, node))
+
+    return AppInstance("mp3d", programs, layout,
+                       barriers={barrier_base: n_threads},
+                       total_work=n_particles * steps)

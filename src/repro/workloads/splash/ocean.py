@@ -1,0 +1,70 @@
+"""Ocean stand-in: red-black relaxation over a banded grid.
+
+Sharing pattern reproduced: the grid is partitioned into bands of rows,
+each band placed on its thread's node; a five-point stencil makes each
+sweep read the neighbouring bands' edge rows (nearest-neighbour
+communication), and a barrier separates the sweeps.
+"""
+
+from repro.workloads.kernels.util import Loop, scaled
+from repro.workloads.splash.base import (
+    SharedLayout,
+    AppInstance,
+    thread_builder,
+    chunk_bounds,
+)
+
+_COLS = 64
+
+
+def build(n_threads, threads_per_node=1, scale=1.0,
+          tid_offset=0, shared_base=None, barrier_base=1, sweeps=3,
+          n_rows=None):
+    if n_rows is None:
+        n_rows = scaled(64, scale, minimum=max(8, n_threads))
+    n_rows = max(n_rows, n_threads)          # at least one row per thread
+    layout = (SharedLayout() if shared_base is None
+              else SharedLayout(shared_base))
+    grid = layout.alloc(
+        "grid", n_rows * _COLS,
+        init=[(3 * i) % 17 for i in range(n_rows * _COLS)])
+
+    programs = []
+    for tid in range(n_threads):
+        node = tid // threads_per_node
+        lo, hi = chunk_bounds(n_rows, n_threads, tid)
+        # interior rows only (stencil needs row-1 and row+1)
+        start = max(lo, 1)
+        end = min(hi, n_rows - 1)
+        b = thread_builder("ocean", tid + tid_offset)
+        four = b.word("four", [4])
+        with Loop(b, "s6", sweeps):
+            if end > start:
+                b.li("t3", four)
+                b.lwf("f1", 0, "t3")                  # 4.0
+                b.li("s0", grid + 4 * (start * _COLS + 1))
+                with Loop(b, "s4", end - start):      # rows of my band
+                    b.move("t0", "s0")
+                    with Loop(b, "t5", _COLS - 2):    # interior columns
+                        b.lwf("f2", -4 * _COLS, "t0")   # north
+                        b.lwf("f3", 4 * _COLS, "t0")    # south
+                        b.lwf("f4", -4, "t0")           # west
+                        b.lwf("f5", 4, "t0")            # east
+                        b.fadd("f2", "f2", "f3")
+                        b.fadd("f4", "f4", "f5")
+                        b.fadd("f2", "f2", "f4")
+                        b.lwf("f6", 0, "t0")
+                        b.fadd("f2", "f2", "f6")
+                        b.fmul("f2", "f2", "f1")        # relax
+                        b.swf("f2", 0, "t0")
+                        b.addi("t0", "t0", 4)
+                    b.addi("s0", "s0", 4 * _COLS)
+            b.barrier(barrier_base)
+        b.halt()
+        programs.append(b.build())
+        layout.placement.append((grid + 4 * lo * _COLS,
+                                 (hi - lo) * _COLS, node))
+
+    return AppInstance("ocean", programs, layout,
+                       barriers={barrier_base: n_threads},
+                       total_work=n_rows * _COLS * sweeps)

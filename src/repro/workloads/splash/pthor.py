@@ -1,0 +1,97 @@
+"""PTHOR stand-in: distributed-time logic simulation via task queues.
+
+Sharing pattern reproduced: threads repeatedly pop element indices from
+lock-protected work queues and evaluate them (integer logic over the
+element's state words).  Like real PTHOR there are several distributed
+queues (one per queue group, threads hash onto them), so dequeue is
+lock-serialised *within* a group but groups proceed in parallel; the
+queue heads migrate between processors and element state is touched by
+whichever thread dequeues it — PTHOR's irregular, lock-heavy behaviour.
+"""
+
+from repro.workloads.kernels.util import Loop, scaled
+from repro.workloads.splash.base import (
+    SharedLayout,
+    AppInstance,
+    thread_builder,
+)
+
+_ELEM_WORDS = 8
+_EVAL_ROUNDS = 16
+_N_QUEUES = 8
+_BATCH = 4
+
+
+def build(n_threads, threads_per_node=1, scale=1.0,
+          tid_offset=0, shared_base=None, barrier_base=1, n_elements=None):
+    if n_elements is None:
+        n_elements = scaled(384, scale, minimum=max(16, n_threads))
+    layout = (SharedLayout() if shared_base is None
+              else SharedLayout(shared_base))
+    n_queues = min(_N_QUEUES, n_threads)
+    per_queue = n_elements // n_queues
+    heads = [layout.alloc("head%d" % q, 8, init=[q * per_queue] + [0] * 7)
+             for q in range(n_queues)]
+    qlocks = [layout.alloc("qlock%d" % q, 8, init=[0] * 8)
+              for q in range(n_queues)]
+    elems = layout.alloc(
+        "elems", n_elements * _ELEM_WORDS,
+        init=[(5 * i) % 251 for i in range(n_elements * _ELEM_WORDS)])
+
+    programs = []
+    for tid in range(n_threads):
+        q = tid % n_queues
+        limit = ((q + 1) * per_queue if q < n_queues - 1
+                 else n_elements)
+        b = thread_builder("pthor", tid + tid_offset)
+        b.li("s0", heads[q])
+        b.li("s1", qlocks[q])
+        b.li("s2", elems)
+        b.li("s3", limit)
+        top = b.fresh_label("top")
+        done = b.fresh_label("done")
+        batch_top = b.fresh_label("batch")
+        clip = b.fresh_label("clip")
+        b.label(top)
+        # dequeue a batch under my queue's lock (amortises the handoff
+        # and the queue-head line migration)
+        b.lock(0, "s1")
+        b.lw("t0", 0, "s0")                 # first element of my batch
+        b.addi("t1", "t0", _BATCH)
+        b.sw("t1", 0, "s0")
+        b.unlock(0, "s1")
+        b.bge("t0", "s3", done)
+        # s4 = min(t0 + BATCH, limit)
+        b.addi("s4", "t0", _BATCH)
+        b.bge("s3", "s4", clip)
+        b.move("s4", "s3")
+        b.label(clip)
+        b.label(batch_top)
+        # evaluate element t0: logic network update
+        b.sll("t2", "t0", 3 + 2)            # * ELEM_WORDS * 4
+        b.add("t2", "t2", "s2")
+        b.move("t8", "t2")                  # element base
+        b.li("t9", 0)                       # word offset (wraps at 8)
+        with Loop(b, "t5", _EVAL_ROUNDS):
+            b.lw("t3", 0, "t2")
+            b.lw("t4", 4, "t2")
+            b.xor("t6", "t3", "t4")
+            b.nor("t7", "t3", "t4")
+            b.sll("t3", "t6", 1)
+            b.add("t3", "t3", "t7")
+            b.andi("t3", "t3", 0xFFF)
+            b.sw("t3", 0, "t2")
+            b.addi("t9", "t9", 4)
+            b.andi("t9", "t9", 0xF)             # wrap within the element
+            b.add("t2", "t8", "t9")
+        b.addi("t0", "t0", 1)
+        b.blt("t0", "s4", batch_top)
+        b.j(top)
+        b.label(done)
+        b.barrier(barrier_base)
+        b.halt()
+        programs.append(b.build())
+
+    return AppInstance("pthor", programs, layout,
+                       barriers={barrier_base: n_threads},
+                       total_work=n_elements * _EVAL_ROUNDS)

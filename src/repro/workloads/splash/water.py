@@ -1,0 +1,102 @@
+"""Water stand-in: molecular-dynamics pairwise interactions.
+
+Sharing pattern reproduced: molecule state is read-shared during the
+pairwise phase; a lock-protected global potential-energy accumulator is
+updated by every thread each step.  Like Barnes, Water is dominated by
+long floating-point latencies (several divides per pair group), which is
+why the paper reports the largest interleaved-vs-blocked gap on it.
+"""
+
+from repro.workloads.kernels.util import Loop, scaled
+from repro.workloads.kernels.linalg import FDIV_BACKOFF
+from repro.workloads.splash.base import (
+    SharedLayout,
+    AppInstance,
+    thread_builder,
+    chunk_bounds,
+)
+
+
+def build(n_threads, threads_per_node=1, scale=1.0,
+          tid_offset=0, shared_base=None, barrier_base=1, steps=2,
+          n_molecules=None):
+    if n_molecules is None:
+        n_molecules = scaled(96, scale, minimum=max(8, n_threads))
+    layout = (SharedLayout() if shared_base is None
+              else SharedLayout(shared_base))
+    mx = layout.alloc("mx", n_molecules,
+                      init=[(3 * i) % 61 + 1 for i in range(n_molecules)])
+    menergy = layout.alloc("menergy", n_molecules,
+                           init=[0] * n_molecules)
+    # Partial potential-energy accumulators: one per lock group, each on
+    # its own cache line, like Water's per-processor partial sums.  The
+    # final reduction is left to the (sequential) end-of-run consumer.
+    n_groups = min(8, n_threads)
+    global_pe = layout.alloc("global_pe", 8 * n_groups,
+                             init=[0] * (8 * n_groups))
+    pe_lock = layout.alloc("pe_lock", 8 * n_groups,
+                           init=[0] * (8 * n_groups))
+
+    programs = []
+    for tid in range(n_threads):
+        node = tid // threads_per_node
+        lo, hi = chunk_bounds(n_molecules, n_threads, tid)
+        b = thread_builder("water", tid + tid_offset)
+        one = b.word("one", [1])
+        with Loop(b, "s6", steps):
+            b.li("t3", one)
+            b.lwf("f1", 0, "t3")
+            b.li("s0", mx + 4 * lo)
+            b.li("s7", menergy + 4 * lo)
+            b.fcvtif("f10", "zero")              # thread-local energy
+            with Loop(b, "s4", hi - lo):
+                b.lwf("f2", 0, "s0")             # my molecule
+                b.li("t0", mx)
+                b.fcvtif("f4", "zero")
+                with Loop(b, "t5", n_molecules):
+                    b.lwf("f5", 0, "t0")
+                    b.fsub("f5", "f5", "f2")     # dr
+                    b.fmul("f5", "f5", "f5")
+                    b.fadd("f4", "f4", "f5")
+                    b.addi("t0", "t0", 4)
+                # O-O and O-H terms: two divides per molecule.
+                b.fadd("f4", "f4", "f1")
+                b.fdiv("f6", "f1", "f4")
+                b.backoff(FDIV_BACKOFF)
+                b.fmul("f7", "f6", "f6")
+                b.fadd("f7", "f7", "f1")
+                b.fdiv("f9", "f6", "f7")
+                b.backoff(FDIV_BACKOFF)
+                b.fadd("f10", "f10", "f9")
+                b.swf("f9", 0, "s7")
+                b.addi("s0", "s0", 4)
+                b.addi("s7", "s7", 4)
+            # Update phase: move our own molecules (writes invalidate
+            # the read-shared copies on every other node, recreating the
+            # per-step communication of real Water).
+            b.li("s0", mx + 4 * lo)
+            b.li("s7", menergy + 4 * lo)
+            with Loop(b, "s4", hi - lo):
+                b.lwf("f2", 0, "s0")
+                b.lwf("f3", 0, "s7")
+                b.fadd("f2", "f2", "f3")
+                b.swf("f2", 0, "s0")
+                b.addi("s0", "s0", 4)
+                b.addi("s7", "s7", 4)
+            # Lock-protected global accumulation (real Water's *POTENG).
+            group = tid % n_groups
+            b.li("t6", pe_lock + 32 * group)
+            b.li("t7", global_pe + 32 * group)
+            b.lock(0, "t6")
+            b.lwf("f11", 0, "t7")
+            b.fadd("f11", "f11", "f10")
+            b.swf("f11", 0, "t7")
+            b.unlock(0, "t6")
+            b.barrier(barrier_base)
+        b.halt()
+        programs.append(b.build())
+        layout.placement.append((menergy + 4 * lo, hi - lo, node))
+
+    return AppInstance("water", programs, layout,
+                       barriers={barrier_base: n_threads},
+                       total_work=n_molecules * n_molecules * steps)

@@ -1,0 +1,106 @@
+"""The seven uniprocessor workloads of the paper's Table 5.
+
+=====  ========================================  =====================
+Name   Members                                   Stresses
+=====  ========================================  =====================
+IC     doduc, li, eqntott, mxm                   instruction cache
+DC     cfft2d, gmtry, tomcatv, vpenta            data cache
+DT     btrix, cholsky, gmtry, vpenta             data TLB
+FP     emit, cholsky, doduc, matrix300           floating point
+R0     emit, btrix, cfft2d, eqntott              random mix
+R1     mxm, li, matrix300, tomcatv               random mix
+SP     mp3d, water, locus, barnes (1-thread)     SPLASH uniprocessor
+=====  ========================================  =====================
+
+Each process is assembled into its own region of the physical address
+space; bases are staggered by odd page/line offsets so that identically
+laid-out programs do not map onto identical cache sets.
+"""
+
+from repro.core.simulator import Process
+from repro.workloads.kernels import KERNELS
+from repro.workloads import splash as splash_pkg
+
+#: Table 5 (SP uses the uniprocessor versions of four SPLASH apps).
+WORKLOADS = {
+    "IC": ("doduc", "li", "eqntott", "mxm"),
+    "DC": ("cfft2d", "gmtry", "tomcatv", "vpenta"),
+    "DT": ("btrix", "cholsky", "gmtry", "vpenta"),
+    "FP": ("emit", "cholsky", "doduc", "matrix300"),
+    "R0": ("emit", "btrix", "cfft2d", "eqntott"),
+    "R1": ("mxm", "li", "matrix300", "tomcatv"),
+    "SP": ("mp3d", "water", "locus", "barnes"),
+}
+
+#: Presentation order used by Table 7 and Figures 6/7.
+WORKLOAD_ORDER = ("IC", "DC", "DT", "FP", "R0", "R1", "SP")
+
+_CODE_STRIDE = 0x100000
+_DATA_BASE = 0x2000000
+_DATA_STRIDE = 0x400000
+#: Odd page+line offsets decorrelating the processes' cache sets: without
+#: them, identically laid-out programs at power-of-two bases map onto
+#: identical direct-mapped cache indices and thrash each other.
+_STAGGER = 0x1260
+_CODE_STAGGER = 0x11A0
+
+
+def kernel_names():
+    return sorted(KERNELS)
+
+
+def _bases(index):
+    code = _CODE_STRIDE * (index + 1) + index * _CODE_STAGGER
+    data = _DATA_BASE + index * _DATA_STRIDE + index * _STAGGER
+    return code, data
+
+
+def build_process(kernel_name, index=0, scale=1.0, iterations=None,
+                  barrier_base=None):
+    """Build one process around a Spec89 or SPLASH stand-in kernel.
+
+    Returns ``(process, extra)`` where ``extra`` is None for Spec89
+    kernels and the :class:`AppInstance` for SPLASH kernels (the caller
+    must arrange for its shared data to be loaded and its barrier to be
+    configured).
+    """
+    code_base, data_base = _bases(index)
+    if kernel_name in KERNELS:
+        program = KERNELS[kernel_name](
+            name="%s.%d" % (kernel_name, index), code_base=code_base,
+            data_base=data_base, scale=scale, iterations=iterations)
+        return Process(program.name, program), None
+    if kernel_name in splash_pkg.SPLASH_APPS:
+        bid = barrier_base if barrier_base is not None else 100 + index
+        instance = splash_pkg.build_app(
+            kernel_name, n_threads=1, scale=scale,
+            tid_offset=16 + index, shared_base=0x8000000 + index * 0x800000,
+            barrier_base=bid)
+        program = instance.programs[0]
+        return Process(program.name, program), instance
+    raise KeyError("unknown kernel %r" % kernel_name)
+
+
+def build_workload(name, scale=1.0):
+    """Build a Table 5 workload.
+
+    Returns ``(processes, app_instances, barrier_configs)``; the caller
+    hands ``app_instances`` to the simulator for shared-data loading and
+    ``barrier_configs`` to the SyncManager.  For the non-SP workloads
+    both extras are empty.
+    """
+    try:
+        members = WORKLOADS[name]
+    except KeyError:
+        raise KeyError("unknown workload %r (have %s)"
+                       % (name, ", ".join(WORKLOAD_ORDER))) from None
+    processes = []
+    instances = []
+    barriers = {}
+    for i, kernel in enumerate(members):
+        process, extra = build_process(kernel, index=i, scale=scale)
+        processes.append(process)
+        if extra is not None:
+            instances.append(extra)
+            barriers.update(extra.barriers)
+    return processes, instances, barriers

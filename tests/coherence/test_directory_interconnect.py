@@ -1,0 +1,86 @@
+"""Directory entries and the Table 8 latency model."""
+
+from repro.config import MultiprocessorParams
+from repro.coherence.directory import Directory, DirEntry
+from repro.coherence.interconnect import LatencyModel
+
+
+class TestDirEntry:
+    def test_initial_state_uncached(self):
+        e = DirEntry()
+        assert not e.is_dirty
+        assert e.sharer_list() == []
+
+    def test_sharer_list(self):
+        e = DirEntry()
+        e.sharers = 0b1011
+        assert e.sharer_list() == [0, 1, 3]
+
+    def test_dirty_state(self):
+        e = DirEntry()
+        e.owner = 2
+        assert e.is_dirty
+
+    def test_repr_states(self):
+        e = DirEntry()
+        assert "uncached" in repr(e)
+        e.sharers = 1
+        assert "shared" in repr(e)
+        e.owner = 0
+        assert "dirty" in repr(e)
+
+
+class TestDirectory:
+    def test_entry_allocates_once(self):
+        d = Directory()
+        e1 = d.entry(0x100)
+        e2 = d.entry(0x100)
+        assert e1 is e2
+
+    def test_peek_does_not_allocate(self):
+        d = Directory()
+        assert d.peek(0x100) is None
+        d.entry(0x100)
+        assert d.peek(0x100) is not None
+
+
+class TestLatencyModel:
+    def test_ranges_respected(self):
+        params = MultiprocessorParams()
+        lm = LatencyModel(params, seed=11)
+        for _ in range(100):
+            assert params.local_memory[0] <= lm.local_memory() \
+                <= params.local_memory[1]
+            assert params.remote_memory[0] <= lm.remote_memory() \
+                <= params.remote_memory[1]
+            assert params.remote_cache[0] <= lm.remote_cache() \
+                <= params.remote_cache[1]
+
+    def test_latency_ordering(self):
+        """local < remote < remote-cache on average (Table 8 / DASH)."""
+        lm = LatencyModel(MultiprocessorParams(), seed=5)
+        local = sum(lm.local_memory() for _ in range(200)) / 200
+        remote = sum(lm.remote_memory() for _ in range(200)) / 200
+        rcache = sum(lm.remote_cache() for _ in range(200)) / 200
+        assert local < remote < rcache
+
+    def test_requester_dispatch(self):
+        params = MultiprocessorParams()
+        lm = LatencyModel(params, seed=5)
+        assert params.local_memory[0] <= lm.memory_latency(2, 2) \
+            <= params.local_memory[1]
+        assert params.remote_memory[0] <= lm.memory_latency(2, 3) \
+            <= params.remote_memory[1]
+
+    def test_deterministic_with_seed(self):
+        a = LatencyModel(MultiprocessorParams(), seed=9)
+        b = LatencyModel(MultiprocessorParams(), seed=9)
+        assert [a.remote_memory() for _ in range(10)] == \
+               [b.remote_memory() for _ in range(10)]
+
+    def test_sample_counts(self):
+        lm = LatencyModel(MultiprocessorParams(), seed=9)
+        lm.local_memory()
+        lm.remote_cache()
+        assert lm.samples["local"] == 1
+        assert lm.samples["remote_cache"] == 1

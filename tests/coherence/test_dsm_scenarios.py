@@ -1,0 +1,129 @@
+"""Directed multi-step coherence scenarios (protocol walkthroughs)."""
+
+from repro.config import MultiprocessorParams
+from repro.coherence.dsm import DSMachine
+
+
+def machine(n_nodes=4, seed=21):
+    return DSMachine(MultiprocessorParams(n_nodes=n_nodes), seed=seed)
+
+
+def complete(m, node, addr, write, now):
+    res = m.access(node, addr, write, now)
+    return max(now + 1, res.ready + 1), res
+
+
+class TestMigratoryPattern:
+    """MP3D-style: a line read-modify-written by one node after another
+    migrates, staying dirty, always serviced cache-to-cache."""
+
+    def test_line_migrates_between_writers(self):
+        m = machine()
+        now = 0
+        now, first = complete(m, 0, 0x3000, True, now)
+        assert first.level in ("local", "remote")
+        for node in (1, 2, 3, 0):
+            now, res = complete(m, node, 0x3000, True, now)
+            assert res.level == "remote_cache", node
+            assert m.directory.entry(0x3000).owner == node
+        assert m.dirty_remote_services == 4
+
+    def test_migration_leaves_no_stale_copies(self):
+        m = machine()
+        now = 0
+        for node in (0, 1, 2):
+            now, _ = complete(m, node, 0x3000, True, now)
+        for node in (0, 1):
+            assert not m.nodes[node].cache.present(0x3000)
+        m.check_coherence_invariants()
+
+
+class TestProducerConsumerPattern:
+    """Ocean-style: one node writes, neighbours read, repeat."""
+
+    def test_round_trip_costs(self):
+        m = machine()
+        now = 0
+        # Producer writes; consumer reads (3-hop); producer re-writes
+        # (upgrade over the now-shared line); consumer re-reads (3-hop).
+        now, w1 = complete(m, 0, 0x5000, True, now)
+        now, r1 = complete(m, 1, 0x5000, False, now)
+        assert r1.level == "remote_cache"
+        now, w2 = complete(m, 0, 0x5000, True, now)
+        assert w2.level == "upgrade"
+        now, r2 = complete(m, 1, 0x5000, False, now)
+        assert r2.level == "remote_cache"
+
+    def test_consumer_count_scales_invalidations(self):
+        m = machine()
+        now = 0
+        now, _ = complete(m, 0, 0x5000, False, now)
+        now, _ = complete(m, 1, 0x5000, False, now)
+        now, _ = complete(m, 2, 0x5000, False, now)
+        before = m.invalidations_sent
+        now, _ = complete(m, 3, 0x5000, True, now)
+        assert m.invalidations_sent - before == 3
+
+
+class TestReadSharedPattern:
+    """Barnes-style: everybody reads, nobody writes — free after fill."""
+
+    def test_all_nodes_hit_after_first_read(self):
+        m = machine()
+        now = 0
+        for node in range(4):
+            now, _ = complete(m, node, 0x7000, False, now)
+        for node in range(4):
+            res = m.access(node, 0x7000, False, now)
+            assert res.level == "l1", node
+            now += 2
+
+
+class TestEvictionInteractions:
+    def test_dirty_eviction_releases_ownership(self):
+        m = machine()
+        now = 0
+        now, _ = complete(m, 0, 0x3000, True, now)
+        # Conflict-evict by touching the aliasing line (cache size apart)
+        alias = 0x3000 + m.params.cache.size
+        now, _ = complete(m, 0, alias, False, now)
+        entry = m.directory.entry(0x3000)
+        assert entry.owner == -1
+        m.check_coherence_invariants()
+
+    def test_reread_after_dirty_eviction_is_a_plain_miss(self):
+        m = machine()
+        now = 0
+        now, _ = complete(m, 0, 0x3000, True, now)
+        alias = 0x3000 + m.params.cache.size
+        now, _ = complete(m, 0, alias, False, now)
+        now, res = complete(m, 0, 0x3000, False, now)
+        assert res.level in ("local", "remote")   # not remote_cache
+
+    def test_silent_clean_eviction_tolerated(self):
+        """Stale sharer bits only cause harmless invalidations."""
+        m = machine()
+        now = 0
+        now, _ = complete(m, 1, 0x3000, False, now)
+        alias = 0x3000 + m.params.cache.size
+        now, _ = complete(m, 1, alias, False, now)   # silently evicts
+        # Node 0 writes: invalidation goes to node 1's absent copy.
+        now, _ = complete(m, 0, 0x3000, True, now)
+        m.check_coherence_invariants()
+
+
+class TestPortContention:
+    def test_owner_port_busy_during_transfer(self):
+        m = machine()
+        now = 0
+        now, _ = complete(m, 0, 0x9000, True, now)
+        res = m.access(1, 0x9000, False, now)
+        owner_port = m.nodes[0].cache.port
+        assert owner_port.busy_until > now
+
+    def test_back_to_back_requests_queue_on_requester_port(self):
+        m = machine()
+        m.access(0, 0x9000, False, 100)
+        second = m.access(0, 0xA000, False, 100)
+        # Same-cycle second access starts after the port frees.
+        assert second.ready >= 100

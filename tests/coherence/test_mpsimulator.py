@@ -1,0 +1,68 @@
+"""Multiprocessor simulator end-to-end behaviour."""
+
+import pytest
+
+from repro.config import MultiprocessorParams
+from repro.core.mpsimulator import MultiprocessorSimulator
+from repro.workloads.splash import build_app
+
+
+def simulate(app_name="ocean", scheme="single", n_contexts=1, n_nodes=2,
+             scale=0.25, seed=5):
+    params = MultiprocessorParams(n_nodes=n_nodes)
+    app = build_app(app_name, n_threads=n_nodes * n_contexts,
+                    threads_per_node=n_contexts, scale=scale)
+    sim = MultiprocessorSimulator(app, scheme=scheme,
+                                  n_contexts=n_contexts, params=params,
+                                  seed=seed)
+    return sim, sim.run_to_completion(max_cycles=10_000_000)
+
+
+class TestCompletion:
+    def test_runs_to_completion(self):
+        sim, result = simulate()
+        assert result.cycles > 0
+        assert all(p.all_halted() for p in sim.processors)
+
+    def test_thread_count_must_match_machine(self):
+        params = MultiprocessorParams(n_nodes=4)
+        app = build_app("ocean", n_threads=2, scale=0.25)
+        with pytest.raises(ValueError):
+            MultiprocessorSimulator(app, n_contexts=1, params=params)
+
+    def test_timeout_raises(self):
+        sim, _ = None, None
+        params = MultiprocessorParams(n_nodes=2)
+        app = build_app("ocean", n_threads=2, scale=0.5)
+        sim = MultiprocessorSimulator(app, params=params)
+        with pytest.raises(RuntimeError):
+            sim.run_to_completion(max_cycles=100)
+
+
+class TestResults:
+    def test_stats_cover_all_nodes(self):
+        sim, result = simulate(n_nodes=2)
+        assert len(result.node_stats) == 2
+        assert result.stats.total_cycles == sum(
+            s.total_cycles for s in result.node_stats)
+
+    def test_breakdown_fractions_normalised(self):
+        _, result = simulate()
+        total = sum(result.breakdown_fractions().values())
+        assert abs(total - 1.0) < 1e-9
+
+    def test_more_nodes_go_faster(self):
+        _, small = simulate("barnes", n_nodes=2)
+        _, large = simulate("barnes", n_nodes=4)
+        assert large.cycles < small.cycles
+
+    def test_multiple_contexts_change_thread_count(self):
+        sim, _ = simulate("ocean", scheme="interleaved", n_contexts=2,
+                          n_nodes=2)
+        assert len(sim.processes) == 4
+
+    def test_placement_pins_private_pages(self):
+        sim, _ = simulate("mp3d", n_nodes=2)
+        machine = sim.machine
+        pinned = [page for page, node in machine.page_home.items()]
+        assert pinned            # mp3d pins particle slices

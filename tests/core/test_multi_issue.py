@@ -1,0 +1,143 @@
+"""The Section 7 extension: in-order multi-issue (superscalar) mode.
+
+The paper's closing discussion points at dynamic superscalar processors;
+this extension shows the argument that became SMT: a wider in-order
+front end starves on a single thread's dependencies, and interleaved
+contexts are exactly the independent instructions that fill it.
+"""
+
+from dataclasses import replace
+
+from repro.isa import AsmBuilder
+from repro.isa.executor import Memory
+from repro.config import PipelineParams
+from repro.core.processor import Processor
+from repro.core.simulator import Process
+from repro.core.sync import SyncManager
+from repro.experiments.microbench import FixedLatencyMemory, run_to_halt
+
+
+def make_processor(scheme, n_contexts, width):
+    pp = replace(PipelineParams(), issue_width=width)
+    memory = Memory()
+    proc = Processor(scheme, n_contexts, pp, FixedLatencyMemory(),
+                     memory, sync=SyncManager())
+    return proc, memory
+
+
+def load_thread(proc, memory, slot, body):
+    b = AsmBuilder("p%d" % slot, code_base=(slot + 1) * 0x1000,
+                   data_base=0x400000 + slot * 0x10000)
+    body(b)
+    program = b.build()
+    program.load(memory)
+    process = Process("p%d" % slot, program)
+    proc.load_process(slot, process)
+    return process
+
+
+def independent_alu(n):
+    def body(b):
+        for i in range(n):
+            # round-robin destinations: no serial dependence
+            b.addi("t%d" % (i % 4), "zero", i % 100)
+        b.halt()
+    return body
+
+
+def dependent_chain(n):
+    def body(b):
+        for _ in range(n):
+            b.addi("t0", "t0", 1)
+        b.halt()
+    return body
+
+
+class TestSingleThreadWidth:
+    def test_independent_code_dual_issues(self):
+        proc, memory = make_processor("single", 1, width=2)
+        load_thread(proc, memory, 0, independent_alu(40))
+        cycles = run_to_halt(proc)
+        # 41 instructions in ~21 cycles: IPC ~2.
+        assert cycles <= 24
+
+    def test_dependent_chain_cannot_use_width(self):
+        """Result latency 1 means a dependent add cannot co-issue."""
+        proc1, mem1 = make_processor("single", 1, width=1)
+        load_thread(proc1, mem1, 0, dependent_chain(40))
+        narrow = run_to_halt(proc1)
+        proc2, mem2 = make_processor("single", 1, width=2)
+        load_thread(proc2, mem2, 0, dependent_chain(40))
+        wide = run_to_halt(proc2)
+        assert wide >= narrow - 2     # width buys (almost) nothing
+
+    def test_width_one_unchanged(self):
+        proc, memory = make_processor("single", 1, width=1)
+        load_thread(proc, memory, 0, dependent_chain(10))
+        assert run_to_halt(proc) == 11
+
+
+class TestInterleavedFillsTheWidth:
+    def test_two_chains_fill_two_slots(self):
+        """Two dependent chains dual-issue perfectly when interleaved —
+        the SMT argument in miniature."""
+        proc, memory = make_processor("interleaved", 2, width=2)
+        for slot in range(2):
+            load_thread(proc, memory, slot, dependent_chain(40))
+        cycles = run_to_halt(proc)
+        # 2 x 41 instructions over 2 slots/cycle: ~41 cycles, not ~82.
+        assert cycles <= 48
+
+    def test_utilization_scales_with_contexts(self):
+        results = {}
+        for n in (1, 2, 4):
+            proc, memory = make_processor(
+                "interleaved" if n > 1 else "single", n, width=4)
+            for slot in range(n):
+                load_thread(proc, memory, slot, dependent_chain(60))
+            run_to_halt(proc)
+            results[n] = proc.stats.utilization()
+        assert results[2] > results[1]
+        assert results[4] > results[2]
+
+    def test_slot_accounting_sums_to_width_times_cycles(self):
+        proc, memory = make_processor("interleaved", 2, width=2)
+        for slot in range(2):
+            load_thread(proc, memory, slot, dependent_chain(20))
+        cycles = run_to_halt(proc)
+        assert proc.stats.total_cycles == 2 * cycles
+
+
+class TestWidthAndMisses:
+    def test_blocked_flush_costs_scale_with_width(self):
+        """A 7-cycle flush wastes 7 x width slots on a wide machine."""
+
+        def missing_body(b):
+            arr = b.space("arr", 8)
+            b.li("t0", arr)
+            b.lw("t1", 0, "t0")
+            for i in range(20):
+                b.addi("t%d" % (i % 4), "zero", 1)
+            b.halt()
+
+        costs = {}
+        for width in (1, 2):
+            pp = replace(PipelineParams(), issue_width=width)
+            memory = Memory()
+            memsys = FixedLatencyMemory(latency=30)
+            proc = Processor("blocked", 2, pp, memsys, memory,
+                             sync=SyncManager())
+            b = AsmBuilder("p0", code_base=0x1000, data_base=0x400000)
+            missing_body(b)
+            program = b.build()
+            program.load(memory)
+            memsys.miss_addrs.add(0x400000)
+            proc.load_process(0, Process("p0", program))
+            b2 = AsmBuilder("p1", code_base=0x2000, data_base=0x410000)
+            dependent_chain(30)(b2)
+            p2 = b2.build()
+            p2.load(memory)
+            proc.load_process(1, Process("p1", p2))
+            run_to_halt(proc)
+            costs[width] = proc.stats.squashed
+        assert costs[2] > costs[1]

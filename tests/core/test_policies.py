@@ -1,0 +1,139 @@
+"""Context-selection policies."""
+
+import pytest
+
+from repro.config import PipelineParams
+from repro.core.context import HardwareContext, Status, NEVER
+from repro.core.policies import (
+    SinglePolicy, BlockedPolicy, InterleavedPolicy, make_policy,
+    idle_wake_info,
+)
+from repro.pipeline.stalls import Stall
+
+
+def contexts(n, status=Status.RUNNING):
+    out = []
+    for i in range(n):
+        ctx = HardwareContext(i)
+        ctx.status = status
+        out.append(ctx)
+    return out
+
+
+PP = PipelineParams()
+
+
+class TestMakePolicy:
+    def test_scheme_classes(self):
+        assert isinstance(make_policy("single", 1, PP), SinglePolicy)
+        assert isinstance(make_policy("blocked", 2, PP), BlockedPolicy)
+        assert isinstance(make_policy("interleaved", 2, PP),
+                          InterleavedPolicy)
+
+    def test_one_context_degrades_to_single(self):
+        """Paper constraint: single-thread performance unchanged."""
+        assert isinstance(make_policy("blocked", 1, PP), SinglePolicy)
+        assert isinstance(make_policy("interleaved", 1, PP), SinglePolicy)
+
+    def test_unknown_scheme(self):
+        with pytest.raises(ValueError):
+            make_policy("simultaneous", 2, PP)
+
+    def test_bad_context_count(self):
+        with pytest.raises(ValueError):
+            make_policy("blocked", 0, PP)
+        with pytest.raises(ValueError):
+            make_policy("single", 2, PP)
+
+    def test_off_costs_table4(self):
+        assert make_policy("blocked", 2, PP).off_cost == 3
+        assert make_policy("interleaved", 2, PP).off_cost == 1
+        assert make_policy("single", 1, PP).off_cost == 0
+
+
+class TestInterleavedSelection:
+    def test_round_robin_over_available(self):
+        policy = InterleavedPolicy(4, PP)
+        ctxs = contexts(4)
+        picks = [policy.select(ctxs, t).cid for t in range(8)]
+        assert picks == [0, 1, 2, 3, 0, 1, 2, 3]
+
+    def test_unavailable_context_skipped(self):
+        policy = InterleavedPolicy(4, PP)
+        ctxs = contexts(4)
+        ctxs[1].status = Status.WAITING
+        picks = [policy.select(ctxs, t).cid for t in range(6)]
+        assert picks == [0, 2, 3, 0, 2, 3]
+
+    def test_doomed_contexts_still_selected(self):
+        policy = InterleavedPolicy(2, PP)
+        ctxs = contexts(2)
+        ctxs[0].status = Status.DOOMED
+        picks = [policy.select(ctxs, t).cid for t in range(4)]
+        assert picks == [0, 1, 0, 1]
+
+    def test_none_when_all_unavailable(self):
+        policy = InterleavedPolicy(2, PP)
+        ctxs = contexts(2, Status.WAITING)
+        assert policy.select(ctxs, 0) is None
+
+    def test_reset(self):
+        policy = InterleavedPolicy(4, PP)
+        ctxs = contexts(4)
+        policy.select(ctxs, 0)
+        policy.reset()
+        assert policy.select(ctxs, 1).cid == 0
+
+
+class TestBlockedSelection:
+    def test_sticks_with_current(self):
+        policy = BlockedPolicy(4, PP)
+        ctxs = contexts(4)
+        picks = [policy.select(ctxs, t).cid for t in range(4)]
+        assert picks == [0, 0, 0, 0]
+
+    def test_rotates_on_unavailability(self):
+        policy = BlockedPolicy(4, PP)
+        ctxs = contexts(4)
+        policy.select(ctxs, 0)
+        ctxs[0].status = Status.WAITING
+        assert policy.select(ctxs, 1).cid == 1
+        assert policy.select(ctxs, 2).cid == 1   # stays on the new one
+
+    def test_wraps_around(self):
+        policy = BlockedPolicy(3, PP)
+        ctxs = contexts(3)
+        policy.current = 2
+        ctxs[2].status = Status.HALTED
+        ctxs[1].status = Status.WAITING
+        assert policy.select(ctxs, 0).cid == 0
+
+    def test_force_switch(self):
+        policy = BlockedPolicy(3, PP)
+        ctxs = contexts(3)
+        policy.select(ctxs, 0)
+        policy.force_switch(ctxs)
+        assert policy.select(ctxs, 1).cid == 1
+
+
+class TestIdleWakeInfo:
+    def test_earliest_waiter_wins(self):
+        ctxs = contexts(3, Status.WAITING)
+        ctxs[0].wake_at, ctxs[0].wake_reason = 100, Stall.DCACHE
+        ctxs[1].wake_at, ctxs[1].wake_reason = 50, Stall.SYNC
+        ctxs[2].wake_at, ctxs[2].wake_reason = 70, Stall.DCACHE
+        wake, reason = idle_wake_info(ctxs)
+        assert wake == 50 and reason is Stall.SYNC
+
+    def test_lock_waiters_reported_external(self):
+        ctxs = contexts(2, Status.WAITING)
+        for c in ctxs:
+            c.wake_at = NEVER
+            c.wake_reason = Stall.SYNC
+        wake, reason = idle_wake_info(ctxs)
+        assert wake is None and reason is Stall.SYNC
+
+    def test_all_halted_is_idle(self):
+        ctxs = contexts(2, Status.HALTED)
+        wake, reason = idle_wake_info(ctxs)
+        assert wake is None and reason is Stall.IDLE

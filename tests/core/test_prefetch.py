@@ -1,0 +1,101 @@
+"""Software prefetching (the paper's cited alternative to multithreading)."""
+
+from repro.isa import AsmBuilder
+from repro.isa.executor import Memory
+from repro.config import SystemConfig
+from repro.memory.hierarchy import MemorySystem
+from repro.core.processor import Processor
+from repro.core.simulator import Process
+from repro.core.sync import SyncManager
+from repro.pipeline.stalls import Stall
+from repro.experiments.microbench import run_to_halt
+
+
+def run_stream(prefetch, n=256, scheme="single", n_contexts=1):
+    cfg = SystemConfig.fast()
+    memory = Memory()
+    memsys = MemorySystem(cfg.memory)
+    proc = Processor(scheme, n_contexts, cfg.pipeline, memsys, memory,
+                     sync=SyncManager())
+    b = AsmBuilder("stream", code_base=0x4000, data_base=0x1000000)
+    data = b.word("data", [float(i) for i in range(n)])
+    b.li("s0", data)
+    b.li("s4", n // 8)                # one load per line
+    b.label("top")
+    if prefetch:
+        b.pref(8 * 32, "s0")          # eight lines ahead
+    b.lwf("f0", 0, "s0")
+    b.fadd("f1", "f1", "f0")
+    b.addi("s0", "s0", 32)
+    b.addi("s4", "s4", -1)
+    b.bgtz("s4", "top")
+    b.halt()
+    prog = b.build()
+    prog.load(memory)
+    process = Process("stream", prog)
+    proc.load_process(0, process)
+    for slot in range(1, n_contexts):
+        b2 = AsmBuilder("idle%d" % slot, code_base=0x8000 + slot * 0x2120,
+                        data_base=0x2000000 + slot * 0x20000)
+        b2.halt()
+        p2 = b2.build()
+        p2.load(memory)
+        proc.load_process(slot, Process("idle%d" % slot, p2))
+    cycles = run_to_halt(proc, limit=200_000)
+    return cycles, proc, process
+
+
+class TestPrefetchMechanics:
+    def test_prefetch_fills_the_cache(self):
+        cfg = SystemConfig.fast()
+        memory = Memory()
+        memsys = MemorySystem(cfg.memory)
+        proc = Processor("single", 1, cfg.pipeline, memsys, memory,
+                         sync=SyncManager())
+        memsys.dtlb.lookup(0x1000000)   # warm the TLB: cold prefetches
+        b = AsmBuilder("p", code_base=0x4000, data_base=0x1000000)
+        b.li("t0", 0x1000000)
+        b.pref(0, "t0")
+        for _ in range(60):            # give the fill time to land
+            b.addi("t1", "t1", 1)
+        b.halt()
+        prog = b.build()
+        prog.load(memory)
+        proc.load_process(0, Process("p", prog))
+        run_to_halt(proc)
+        assert memsys.l1d.present(0x1000000)
+
+    def test_prefetch_never_squashes(self):
+        _, proc, _ = run_stream(prefetch=True)
+        assert proc.stats.squashed == 0
+
+    def test_prefetch_retires_as_work(self):
+        cycles, proc, process = run_stream(prefetch=True, n=64)
+        assert process.state.halted
+        assert proc.stats.retired > 0
+
+    def test_architecturally_invisible(self):
+        """A prefetched and a plain run compute the same sum."""
+        _, _, with_p = run_stream(prefetch=True, n=64)
+        _, _, without = run_stream(prefetch=False, n=64)
+        assert with_p.state.regs[33] == without.state.regs[33]
+
+
+class TestPrefetchPerformance:
+    def test_prefetch_speeds_up_a_streaming_single_context(self):
+        plain, proc_plain, _ = run_stream(prefetch=False)
+        pref, proc_pref, _ = run_stream(prefetch=True)
+        assert pref < plain
+        # The win comes from removing memory stalls.
+        assert proc_pref.stats.counts[Stall.DCACHE] < \
+            proc_plain.stats.counts[Stall.DCACHE]
+
+    def test_prefetch_and_multithreading_compose(self):
+        """Prefetch helps the thread that knows its addresses;
+        interleaving helps the ones that do not — they are not
+        mutually exclusive mechanisms."""
+        plain, _, _ = run_stream(prefetch=False, scheme="interleaved",
+                                 n_contexts=2)
+        pref, _, _ = run_stream(prefetch=True, scheme="interleaved",
+                                n_contexts=2)
+        assert pref <= plain

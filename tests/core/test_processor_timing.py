@@ -1,0 +1,247 @@
+"""Processor timing against the paper's published costs.
+
+These tests use the microbenchmark scaffolding (ideal I-memory,
+fixed-latency data memory) so every cycle is accounted for exactly.
+"""
+
+from repro.isa import AsmBuilder
+from repro.isa.executor import Memory
+from repro.config import PipelineParams
+from repro.core.processor import Processor
+from repro.core.simulator import Process
+from repro.core.sync import SyncManager
+from repro.pipeline.stalls import Stall
+from repro.experiments.microbench import (
+    FixedLatencyMemory,
+    measure_miss_cost,
+    build_four_thread_processor,
+    run_to_halt,
+)
+
+
+def bare_processor(scheme="single", n=1, memsys=None):
+    memory = Memory()
+    memsys = memsys or FixedLatencyMemory()
+    proc = Processor(scheme, n, PipelineParams(), memsys, memory,
+                     sync=SyncManager())
+    return proc, memory, memsys
+
+
+def run_program(proc, memory, builder_fn, slot=0, limit=10_000):
+    b = AsmBuilder("p%d" % slot, code_base=(slot + 1) * 0x1000,
+                   data_base=0x400000 + slot * 0x10000)
+    builder_fn(b)
+    prog = b.build()
+    prog.load(memory)
+    proc.load_process(slot, Process("p%d" % slot, prog))
+    return run_to_halt(proc, limit)
+
+
+class TestSingleContextTiming:
+    def test_alu_chain_one_per_cycle(self):
+        proc, memory, _ = bare_processor()
+
+        def body(b):
+            for _ in range(10):
+                b.addi("t0", "t0", 1)
+            b.halt()
+
+        cycles = run_program(proc, memory, body)
+        # 10 ALU ops + halt, fully bypassed: one issue per cycle.
+        assert proc.stats.retired == 11
+        assert cycles == 11
+
+    def test_load_use_two_delay_slots(self):
+        proc, memory, _ = bare_processor()
+
+        def body(b):
+            arr = b.word("arr", [5])
+            b.li("t0", arr)
+            b.lw("t1", 0, "t0")
+            b.add("t2", "t1", "t1")   # needs t1: two stall cycles
+            b.halt()
+
+        cycles = run_program(proc, memory, body)
+        assert proc.stats.counts[Stall.INST_SHORT] == 2
+
+    def test_fdiv_dependency_long_stall(self):
+        proc, memory, _ = bare_processor()
+
+        def body(b):
+            b.fcvtif("f1", "zero")
+            b.fdiv("f2", "f1", "f1")
+            b.fadd("f3", "f2", "f2")
+            b.halt()
+
+        run_program(proc, memory, body)
+        assert proc.stats.counts[Stall.INST_LONG] >= 55
+
+    def test_mispredicted_branch_three_cycles(self):
+        proc, memory, _ = bare_processor()
+
+        def body(b):
+            b.li("t0", 1)
+            b.beq("t0", "zero", "skip")   # not taken: cold-correct
+            b.j("skip")                   # cold taken jump: mispredict
+            b.nop()                       # (never executed)
+            b.label("skip")
+            b.halt()
+
+        run_program(proc, memory, body)
+        assert proc.stats.counts[Stall.INST_SHORT] == 3
+
+    def test_btb_learns_loop_branch(self):
+        proc, memory, _ = bare_processor()
+
+        def body(b):
+            b.li("t0", 20)
+            b.label("top")
+            b.addi("t0", "t0", -1)
+            b.bgtz("t0", "top")
+            b.halt()
+
+        run_program(proc, memory, body)
+        # Taken 19 times: one cold mispredict to install, one final
+        # not-taken mispredict to evict; everything between predicted.
+        assert proc.btb.mispredicts == 2
+
+    def test_stall_on_use_overlaps_miss(self):
+        proc, memory, memsys = bare_processor()
+        memsys.latency = 30
+
+        def body(b):
+            arr = b.space("arr", 8)
+            b.li("t0", arr)
+            memsys.miss_addrs.add(b.addr("arr"))
+            b.lw("t1", 0, "t0")
+            for _ in range(20):
+                b.addi("t2", "t2", 1)    # independent work overlaps
+            b.add("t3", "t1", "t1")      # consumer
+            b.halt()
+
+        run_program(proc, memory, body)
+        # 20 overlapped cycles: the remaining wait is charged to memory.
+        assert 0 < proc.stats.counts[Stall.DCACHE] <= 12
+        assert proc.stats.counts[Stall.SWITCH] == 0
+
+
+class TestBlockedTiming:
+    def test_miss_costs_seven_slots(self):
+        """Table 4: blocked cache-miss switch cost = pipeline depth."""
+        assert measure_miss_cost("blocked", 2) == 7
+        assert measure_miss_cost("blocked", 4) == 7
+
+    def test_backoff_is_explicit_switch_cost_three(self):
+        proc, memory, _ = bare_processor("blocked", 2)
+
+        def body0(b):
+            b.backoff(20)
+            for _ in range(5):
+                b.addi("t0", "t0", 1)
+            b.halt()
+
+        def body1(b):
+            for _ in range(30):
+                b.addi("t0", "t0", 1)
+            b.halt()
+
+        b0 = AsmBuilder("p0", code_base=0x1000, data_base=0x400000)
+        body0(b0)
+        p0 = b0.build()
+        p0.load(memory)
+        proc.load_process(0, Process("p0", p0))
+        b1 = AsmBuilder("p1", code_base=0x2000, data_base=0x410000)
+        body1(b1)
+        p1 = b1.build()
+        p1.load(memory)
+        proc.load_process(1, Process("p1", p1))
+        run_to_halt(proc)
+        assert proc.stats.counts[Stall.SWITCH] == 3
+        assert proc.stats.backoffs == 1
+
+
+class TestInterleavedTiming:
+    def test_miss_cost_shrinks_with_contexts(self):
+        """Table 4: interleaved miss cost = in-flight instructions."""
+        two = measure_miss_cost("interleaved", 2)
+        four = measure_miss_cost("interleaved", 4)
+        assert two > four
+        assert 1 <= four <= 3
+        assert measure_miss_cost("blocked", 4) > two
+
+    def test_figure3_scenario_interleaved_wins(self):
+        blocked = build_four_thread_processor("blocked")
+        interleaved = build_four_thread_processor("interleaved")
+        tb = run_to_halt(blocked)
+        ti = run_to_halt(interleaved)
+        assert ti < tb
+        assert blocked.stats.squashed == 28       # 4 misses x 7
+        assert interleaved.stats.squashed < 20
+
+    def test_dependency_hidden_by_interleaving(self):
+        """Figure 3: B's two-cycle dependency vanishes with 4 contexts."""
+        blocked = build_four_thread_processor("blocked")
+        interleaved = build_four_thread_processor("interleaved")
+        run_to_halt(blocked)
+        run_to_halt(interleaved)
+        assert blocked.stats.counts[Stall.INST_SHORT] > 0
+        assert interleaved.stats.counts[Stall.INST_SHORT] == 0
+
+    def test_backoff_costs_one_slot(self):
+        proc, memory, _ = bare_processor("interleaved", 2)
+        for slot, work in ((0, 1), (1, 0)):
+            b = AsmBuilder("p%d" % slot, code_base=(slot + 1) * 0x1000,
+                           data_base=0x400000 + slot * 0x10000)
+            if slot == 0:
+                b.backoff(10)
+            for _ in range(20):
+                b.addi("t0", "t0", 1)
+            b.halt()
+            prog = b.build()
+            prog.load(memory)
+            proc.load_process(slot, Process("p%d" % slot, prog))
+        run_to_halt(proc)
+        assert proc.stats.counts[Stall.SWITCH] == 1
+        assert proc.stats.backoffs == 1
+
+    def test_round_robin_fairness(self):
+        proc, memory, _ = bare_processor("interleaved", 2)
+        procs = []
+        for slot in range(2):
+            b = AsmBuilder("p%d" % slot, code_base=(slot + 1) * 0x1000,
+                           data_base=0x400000 + slot * 0x10000)
+            for _ in range(40):
+                b.addi("t0", "t0", 1)
+            b.halt()
+            prog = b.build()
+            prog.load(memory)
+            p = Process("p%d" % slot, prog)
+            procs.append(p)
+            proc.load_process(slot, p)
+        run_to_halt(proc)
+        # Identical threads must finish within a cycle of each other.
+        assert abs(procs[0].finished_at - procs[1].finished_at) <= 1
+
+
+class TestTimingMatchesFunctional:
+    def test_architectural_results_identical(self):
+        """The timing simulator must compute what run_functional computes."""
+        from repro.isa.executor import run_functional
+        from repro.workloads.kernels import KERNELS
+
+        for name in ("mxm", "eqntott", "li", "cfft2d"):
+            kernel = KERNELS[name]
+            ref_prog = kernel(iterations=1, scale=0.25,
+                              data_base=0x100000)
+            ref_state, ref_mem = run_functional(ref_prog,
+                                                max_steps=5_000_000)
+
+            proc, memory, _ = bare_processor()
+            prog = kernel(iterations=1, scale=0.25, data_base=0x100000)
+            prog.load(memory)
+            process = Process(name, prog)
+            proc.load_process(0, process)
+            run_to_halt(proc, limit=5_000_000)
+            state = process.state
+            assert state.regs == ref_state.regs, name
+            assert memory.words == ref_mem.words, name

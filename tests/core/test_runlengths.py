@@ -1,0 +1,79 @@
+"""Runlength statistics (paper Section 5.1).
+
+"Lower miss rates usually translate into longer runlengths, and ...
+the fraction of the total processor cycles allocated to each application
+will depend on the size of its runlength relative to the other
+runlengths."
+"""
+
+from repro.isa import AsmBuilder
+from repro.isa.executor import Memory
+from repro.config import PipelineParams
+from repro.core.processor import Processor
+from repro.core.simulator import Process
+from repro.core.sync import SyncManager
+from repro.experiments.microbench import FixedLatencyMemory, run_to_halt
+
+
+def run_with_misses(n_alu_between_misses, n_misses=4):
+    memory = Memory()
+    memsys = FixedLatencyMemory(latency=20)
+    proc = Processor("blocked", 2, PipelineParams(), memsys, memory,
+                     sync=SyncManager())
+    b = AsmBuilder("p0", code_base=0x1000, data_base=0x400000)
+    arrs = []
+    for m in range(n_misses):
+        arrs.append(b.space("arr%d" % m, 16))
+    for m in range(n_misses):
+        b.li("t0", arrs[m])
+        memsys.miss_addrs.add(arrs[m])
+        for _ in range(n_alu_between_misses):
+            b.addi("t1", "t1", 1)
+        b.lw("t2", 0, "t0")
+    b.halt()
+    prog = b.build()
+    prog.load(memory)
+    proc.load_process(0, Process("p0", prog))
+    b2 = AsmBuilder("p1", code_base=0x2000, data_base=0x410000)
+    b2.halt()
+    p2 = b2.build()
+    p2.load(memory)
+    proc.load_process(1, Process("p1", p2))
+    run_to_halt(proc)
+    return proc.stats
+
+
+class TestRunlengths:
+    def test_runs_recorded_per_miss(self):
+        stats = run_with_misses(10, n_misses=4)
+        assert stats.run_count >= 4
+
+    def test_low_miss_rate_means_long_runs(self):
+        short = run_with_misses(5, n_misses=4)
+        long_ = run_with_misses(40, n_misses=4)
+        assert long_.mean_runlength() > short.mean_runlength()
+
+    def test_max_tracked(self):
+        stats = run_with_misses(25, n_misses=2)
+        assert stats.run_max >= stats.mean_runlength()
+
+    def test_stats_plumbing(self):
+        from repro.core.stats import CycleStats
+        a = CycleStats()
+        a.end_run(10)
+        a.end_run(20)
+        assert a.mean_runlength() == 15
+        snap = a.snapshot()
+        a.end_run(30)
+        delta = a.delta_since(snap)
+        assert delta.run_count == 1
+        assert delta.run_inst_sum == 30
+        b = CycleStats()
+        b.end_run(50)
+        merged = a.merged_with(b)
+        assert merged.run_count == 4
+        assert merged.run_max == 50
+
+    def test_empty_stats_mean_is_zero(self):
+        from repro.core.stats import CycleStats
+        assert CycleStats().mean_runlength() == 0.0

@@ -1,0 +1,142 @@
+"""Workstation simulator: scheduling, measurement, restart-on-halt."""
+
+import pytest
+
+from repro.config import SystemConfig, OSParams
+from repro.core.context import Status
+from repro.core.simulator import (
+    WorkstationSimulator, Process, SimulationDeadlock,
+)
+from repro.isa import AsmBuilder
+from dataclasses import replace
+
+
+def spin_process(name, index, n=50, halt_after_one=False):
+    b = AsmBuilder(name, code_base=(index + 1) * 0x10000,
+                   data_base=0x1000000 + index * 0x20000)
+    b.label("top")
+    b.li("t1", n)
+    b.label("inner")
+    b.addi("t0", "t0", 1)
+    b.addi("t1", "t1", -1)
+    b.bgtz("t1", "inner")
+    if halt_after_one:
+        b.halt()
+    else:
+        b.j("top")
+        b.halt()
+    return Process(name, b.build())
+
+
+def fast_config(**os_kw):
+    cfg = SystemConfig.fast()
+    if os_kw:
+        cfg = replace(cfg, os=replace(cfg.os, **os_kw))
+    return cfg
+
+
+class TestBasicRuns:
+    def test_progress_is_made(self):
+        sim = WorkstationSimulator([spin_process("a", 0)],
+                                   scheme="single", n_contexts=1,
+                                   config=fast_config())
+        res = sim.measure(5_000, warmup=500)
+        assert res.per_process["a"] > 2_000
+
+    def test_measure_excludes_warmup(self):
+        sim = WorkstationSimulator([spin_process("a", 0)],
+                                   scheme="single", n_contexts=1,
+                                   config=fast_config())
+        res = sim.measure(1_000, warmup=1_000)
+        assert res.duration == 1_000
+        assert res.stats.total_cycles == 1_000
+
+    def test_requires_processes(self):
+        with pytest.raises(ValueError):
+            WorkstationSimulator([], config=fast_config())
+
+    def test_rates(self):
+        sim = WorkstationSimulator([spin_process("a", 0)],
+                                   scheme="single", n_contexts=1,
+                                   config=fast_config())
+        res = sim.measure(2_000)
+        assert 0 < res.rate("a") <= 1.0
+        assert res.total_ipc() == res.rate("a")
+
+
+class TestScheduling:
+    def test_all_processes_share_one_context(self):
+        procs = [spin_process(chr(97 + i), i) for i in range(4)]
+        cfg = fast_config(time_slice=1_000)
+        sim = WorkstationSimulator(procs, scheme="single", n_contexts=1,
+                                   config=cfg)
+        # One full affinity rotation = 4 procs x 3 slices x 1k cycles.
+        res = sim.measure(24_000)
+        for p in procs:
+            assert res.per_process[p.name] > 0
+
+    def test_affinity_keeps_group_resident(self):
+        procs = [spin_process(chr(97 + i), i) for i in range(4)]
+        cfg = fast_config(time_slice=1_000)
+        sim = WorkstationSimulator(procs, scheme="single", n_contexts=1,
+                                   config=cfg)
+        # Within 3 slices (the affinity window) only one process runs.
+        res = sim.measure(2_900)
+        ran = [n for n, v in res.per_process.items() if v > 0]
+        assert len(ran) == 1
+
+    def test_no_swap_when_everything_fits(self):
+        procs = [spin_process(chr(97 + i), i) for i in range(2)]
+        sim = WorkstationSimulator(procs, scheme="interleaved",
+                                   n_contexts=2, config=fast_config())
+        res = sim.measure(10_000)
+        # Both resident the whole time: both make steady progress.
+        rates = sorted(res.per_process.values())
+        assert rates[0] > 0.3 * rates[1]
+
+    def test_multi_context_runs_group_together(self):
+        procs = [spin_process(chr(97 + i), i) for i in range(4)]
+        cfg = fast_config(time_slice=1_000)
+        sim = WorkstationSimulator(procs, scheme="interleaved",
+                                   n_contexts=2, config=cfg)
+        res = sim.measure(1_500)
+        ran = [n for n, v in res.per_process.items() if v > 0]
+        assert len(ran) == 2
+
+
+class TestMoreContextsThanProcesses:
+    def test_extra_contexts_stay_empty(self):
+        procs = [spin_process("a", 0), spin_process("b", 1)]
+        sim = WorkstationSimulator(procs, scheme="interleaved",
+                                   n_contexts=4, config=fast_config())
+        statuses = [c.status for c in sim.processor.contexts]
+        assert statuses.count(Status.EMPTY) == 2
+        res = sim.measure(5_000, warmup=1_000)
+        # Both processes progress, nothing is double-loaded.
+        assert all(v > 0 for v in res.per_process.values())
+
+    def test_no_aliased_state(self):
+        procs = [spin_process("a", 0)]
+        sim = WorkstationSimulator(procs, scheme="interleaved",
+                                   n_contexts=2, config=fast_config())
+        loaded = [c.process for c in sim.processor.contexts
+                  if c.process is not None]
+        assert len(loaded) == 1
+
+
+class TestRestartOnHalt:
+    def test_halted_process_restarts(self):
+        p = spin_process("a", 0, n=10, halt_after_one=True)
+        sim = WorkstationSimulator([p], scheme="single", n_contexts=1,
+                                   config=fast_config())
+        sim.run(5_000)
+        assert p.completions > 10
+
+    def test_restart_disabled(self):
+        p = spin_process("a", 0, n=10, halt_after_one=True)
+        sim = WorkstationSimulator([p], scheme="single", n_contexts=1,
+                                   config=fast_config(),
+                                   restart_halted=False)
+        sim.run(5_000)
+        assert p.completions == 0
+        assert p.state.halted

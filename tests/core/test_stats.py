@@ -1,0 +1,83 @@
+"""Cycle accounting."""
+
+from repro.core.stats import CycleStats
+from repro.pipeline.stalls import (
+    Stall, UNIPROCESSOR_CATEGORIES, MULTIPROCESSOR_CATEGORIES,
+)
+
+
+class TestCounting:
+    def test_add_and_totals(self):
+        s = CycleStats()
+        s.add(Stall.BUSY, 10)
+        s.add(Stall.DCACHE, 5)
+        assert s.total_cycles == 15
+        assert s.busy == 10
+        assert s.utilization() == 10 / 15
+
+    def test_ipc(self):
+        s = CycleStats()
+        s.add(Stall.BUSY, 4)
+        s.retired = 4
+        s.add(Stall.DCACHE, 4)
+        assert s.ipc() == 0.5
+
+    def test_empty_stats_safe(self):
+        s = CycleStats()
+        assert s.utilization() == 0.0
+        assert s.ipc() == 0.0
+
+
+class TestBreakdowns:
+    def test_uniproc_categories_cover_buckets(self):
+        s = CycleStats()
+        for stall in Stall:
+            if stall is not Stall.SYNC and stall is not Stall.IDLE:
+                s.add(stall)
+        bd = s.breakdown(UNIPROCESSOR_CATEGORIES)
+        assert bd["busy"] == 1
+        assert bd["instruction"] == 2     # short + long
+        assert bd["context_switch"] == 1
+
+    def test_mp_categories(self):
+        s = CycleStats()
+        s.add(Stall.ICACHE)
+        s.add(Stall.DCACHE, 2)
+        bd = s.breakdown(MULTIPROCESSOR_CATEGORIES)
+        assert bd["memory"] == 3
+
+    def test_fractions_sum_to_one(self):
+        s = CycleStats()
+        s.add(Stall.BUSY, 3)
+        s.add(Stall.SYNC, 1)
+        fr = s.breakdown_fractions(MULTIPROCESSOR_CATEGORIES)
+        assert abs(sum(fr.values()) - 1.0) < 1e-9
+
+
+class TestSnapshots:
+    def test_delta_since(self):
+        s = CycleStats()
+        s.add(Stall.BUSY, 5)
+        s.retired = 5
+        snap = s.snapshot()
+        s.add(Stall.BUSY, 3)
+        s.retired = 8
+        delta = s.delta_since(snap)
+        assert delta.busy == 3
+        assert delta.retired == 3
+
+    def test_snapshot_is_independent(self):
+        s = CycleStats()
+        snap = s.snapshot()
+        s.add(Stall.BUSY)
+        assert snap.busy == 0
+
+    def test_merged_with(self):
+        a, b = CycleStats(), CycleStats()
+        a.add(Stall.BUSY, 2)
+        b.add(Stall.SYNC, 3)
+        b.retired = 7
+        m = a.merged_with(b)
+        assert m.busy == 2
+        assert m.counts[Stall.SYNC] == 3
+        assert m.retired == 7

@@ -1,0 +1,81 @@
+"""System-analysis reports."""
+
+import pytest
+
+from repro.config import SystemConfig, MultiprocessorParams
+from repro.core.simulator import WorkstationSimulator
+from repro.core.mpsimulator import MultiprocessorSimulator
+from repro.workloads import build_workload
+from repro.workloads.splash import build_app
+from repro.experiments.analysis import (
+    analyze_workstation, analyze_multiprocessor,
+    render_workstation, render_multiprocessor,
+)
+
+
+@pytest.fixture(scope="module")
+def ws_run():
+    procs, instances, barriers = build_workload("DC", scale=1.0)
+    sim = WorkstationSimulator(procs, scheme="interleaved", n_contexts=4,
+                               config=SystemConfig.fast(),
+                               app_instances=instances, barriers=barriers)
+    result = sim.measure(30_000, warmup=8_000)
+    return sim, result
+
+
+@pytest.fixture(scope="module")
+def mp_run():
+    params = MultiprocessorParams(n_nodes=2)
+    app = build_app("water", n_threads=4, threads_per_node=2, scale=0.5)
+    sim = MultiprocessorSimulator(app, scheme="interleaved",
+                                  n_contexts=2, params=params)
+    result = sim.run_to_completion()
+    return sim, result
+
+
+class TestWorkstationAnalysis:
+    def test_fields_consistent(self, ws_run):
+        sim, result = ws_run
+        a = analyze_workstation(sim, result)
+        assert a["scheme"] == "interleaved"
+        assert a["n_contexts"] == 4
+        assert 0 <= a["utilization"] <= 1
+        assert 0 <= a["l1d_miss_rate"] <= 1
+        assert 0 <= a["btb_accuracy"] <= 1
+        assert a["cycles"] == result.stats.total_cycles
+
+    def test_breakdown_matches_stats(self, ws_run):
+        sim, result = ws_run
+        a = analyze_workstation(sim, result)
+        assert a["breakdown"] == result.stats.breakdown_fractions()
+
+    def test_runlengths_present_for_multithreaded_run(self, ws_run):
+        sim, result = ws_run
+        a = analyze_workstation(sim, result)
+        assert a["mean_runlength"] > 0
+
+    def test_render(self, ws_run):
+        sim, result = ws_run
+        text = render_workstation(analyze_workstation(sim, result))
+        assert "IPC" in text and "BTB" in text and "runlength" in text
+
+
+class TestMultiprocessorAnalysis:
+    def test_fields_consistent(self, mp_run):
+        sim, result = mp_run
+        a = analyze_multiprocessor(sim, result)
+        assert a["cycles"] == result.cycles
+        assert a["lock_acquires"] >= a["lock_contentions"] >= 0
+        assert 0 <= a["miss_rate"] <= 1
+        assert a["node_utilization_min"] <= a["node_utilization_max"]
+
+    def test_latency_samples_recorded(self, mp_run):
+        sim, result = mp_run
+        a = analyze_multiprocessor(sim, result)
+        assert sum(a["latency_samples"].values()) > 0
+
+    def test_render(self, mp_run):
+        sim, result = mp_run
+        text = render_multiprocessor(analyze_multiprocessor(sim, result))
+        assert "cache-to-cache" in text
+        assert "barrier episodes" in text

@@ -1,0 +1,49 @@
+"""The interleaving-experiments command-line interface."""
+
+import pytest
+
+from repro.experiments.cli import main, EXPERIMENTS
+
+
+class TestArguments:
+    def test_unknown_experiment_rejected(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["figure99"])
+
+    def test_experiment_registry_names(self):
+        for name in ("figure2", "figure3", "table4", "table7",
+                     "table10", "figure6", "figure7", "figure8",
+                     "figure9", "configs"):
+            assert name in EXPERIMENTS
+
+    def test_help_exits_cleanly(self):
+        with pytest.raises(SystemExit) as exc:
+            main(["--help"])
+        assert exc.value.code == 0
+
+
+class TestLightExperiments:
+    def test_figure3_prints_timeline(self, capsys):
+        assert main(["figure3"]) == 0
+        out = capsys.readouterr().out
+        assert "blocked" in out and "interleaved" in out
+
+    def test_table4_prints_costs(self, capsys):
+        assert main(["table4"]) == 0
+        out = capsys.readouterr().out
+        assert "cache miss" in out
+
+    def test_configs_prints_all_tables(self, capsys):
+        assert main(["configs"]) == 0
+        out = capsys.readouterr().out
+        assert "Table 1" in out and "Table 9" in out
+
+    def test_seed_option_accepted(self, capsys):
+        assert main(["figure2", "--seed", "3"]) == 0
+
+    def test_measurement_options(self, capsys):
+        # A tiny table7 run through the full uniprocessor path.
+        assert main(["table7", "--measure", "8000", "--warmup",
+                     "2000"]) == 0
+        out = capsys.readouterr().out
+        assert "Mean" in out

@@ -1,0 +1,51 @@
+"""Figure 2, Figure 3, and Table 4 reproductions (exact paper values)."""
+
+from repro.experiments import figure2, figure3, table4
+
+
+class TestFigure2:
+    def test_paper_values(self):
+        result = figure2.run()
+        assert result["blocked"] == 7         # pipeline depth
+        assert result["interleaved"] == 2     # A's two in-flight slots
+
+    def test_render(self):
+        text = figure2.render()
+        assert "blocked" in text and "7" in text
+
+
+class TestFigure3:
+    def test_interleaved_finishes_first(self):
+        result = figure3.run()
+        assert result["interleaved"][0] < result["blocked"][0]
+
+    def test_blocked_squashes_seven_per_miss(self):
+        result = figure3.run()
+        assert result["blocked"][2] == 4 * 7
+
+    def test_interleaved_squashes_less(self):
+        result = figure3.run()
+        assert result["interleaved"][2] < result["blocked"][2]
+
+    def test_trace_round_robin_prefix(self):
+        """The interleaved trace starts ABCD ABCD, as in the paper."""
+        _, cells, _ = figure3.run()["interleaved"]
+        assert cells.startswith("ABCDABCD")
+
+    def test_render_contains_both_lanes(self):
+        text = figure3.render()
+        assert "blocked" in text and "interleaved" in text
+
+
+class TestTable4:
+    def test_paper_costs(self):
+        result = table4.run()
+        assert result[("cache_miss", "blocked")] == 7
+        assert result[("explicit", "blocked")] == 3
+        assert result[("explicit", "interleaved")] == 1
+        assert 1 <= result[("cache_miss", "interleaved_4ctx")] <= 3
+        assert (result[("cache_miss", "interleaved_2ctx")]
+                >= result[("cache_miss", "interleaved_4ctx")])
+
+    def test_render(self):
+        assert "cache miss" in table4.render()

@@ -1,0 +1,58 @@
+"""Report rendering primitives."""
+
+from repro.experiments.report import (
+    render_table, render_stacked_bars, render_timeline,
+)
+from repro.experiments import configs
+
+
+class TestRenderTable:
+    def test_alignment_and_values(self):
+        text = render_table("T", ["a", "b"],
+                            [("row1", [1.5, "x"]), ("row2", [2, 3])])
+        assert "T" in text
+        assert "1.50" in text
+        assert "row2" in text
+
+
+class TestStackedBars:
+    def test_normalized_bars_fill_width(self):
+        text = render_stacked_bars(
+            "B", [("lbl", {"busy": 0.5, "data_cache": 0.5})], width=20)
+        line = [l for l in text.splitlines() if "lbl" in l][0]
+        bar = line.split("|")[1]
+        assert len(bar) == 20
+        assert bar.count("#") == 10
+
+    def test_unnormalized_bars_scale_with_total(self):
+        bars = [("one", {"busy": 1.0}), ("half", {"busy": 0.5})]
+        text = render_stacked_bars("B", bars, width=20, normalize=False)
+        lines = [l for l in text.splitlines() if "|" in l]
+        assert lines[0].split("|")[1].count("#") == 20
+        assert lines[1].split("|")[1].count("#") == 10
+
+    def test_legend_only_lists_used_categories(self):
+        text = render_stacked_bars("B", [("l", {"busy": 1.0})])
+        assert "#=busy" in text
+        assert "s=synchronization" not in text
+
+
+class TestTimeline:
+    def test_lane_rendering(self):
+        text = render_timeline("T", [("lane", "ABCD....")], max_cycles=8)
+        assert "ABCD...." in text
+
+
+class TestConfigTables:
+    def test_all_config_tables_render(self):
+        text = configs.render_all()
+        for fragment in ("Table 1", "Table 2", "Table 3", "Table 5",
+                         "Table 6", "Table 8", "Table 9"):
+            assert fragment in text
+
+    def test_table2_shows_paper_latencies(self):
+        text = configs.table2()
+        assert "9" in text and "34" in text
+
+    def test_table3_shows_divide_latency(self):
+        assert "61" in configs.table3()

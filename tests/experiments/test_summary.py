@@ -1,0 +1,54 @@
+"""Summary verdict machinery (with stubbed experiment results)."""
+
+from repro.experiments import summary
+
+
+def stub_results(interleaved_wins=True):
+    """Synthetic results exercising both verdict outcomes."""
+    hi, lo = (1.8, 1.1) if interleaved_wins else (1.1, 1.8)
+    workloads = ("IC", "DC", "DT", "FP", "R0", "R1", "SP")
+    apps = ("mp3d", "barnes", "water", "ocean", "locus", "pthor",
+            "cholesky")
+    t7 = {}
+    for scheme, v in (("interleaved", hi), ("blocked", lo)):
+        for n in (2, 4):
+            t7[(scheme, n)] = {w: v for w in workloads}
+    t10 = {}
+    for scheme, v in (("interleaved", hi), ("blocked", lo)):
+        for n in (2, 4, 8):
+            row = {a: v for a in apps}
+            row["cholesky"] = 1.0
+            row["mp3d"] = 1.0 if interleaved_wins else v
+            t10[(scheme, n)] = row
+    return {
+        "figure2": {"blocked": 7, "interleaved": 2},
+        "figure3": {"blocked": (73, "", 28), "interleaved": (57, "", 14)},
+        "table4": {("explicit", "blocked"): 3,
+                   ("explicit", "interleaved"): 1},
+        "table7": t7,
+        "table10": t10,
+    }
+
+
+class TestClaims:
+    def test_all_claims_pass_on_paper_shaped_results(self):
+        results = stub_results(interleaved_wins=True)
+        for claim in summary.CLAIMS:
+            assert claim.evaluate(results), claim.text
+
+    def test_inverted_results_fail_the_ordering_claims(self):
+        results = stub_results(interleaved_wins=False)
+        outcomes = [c.evaluate(results) for c in summary.CLAIMS]
+        assert not all(outcomes)
+
+    def test_render_reports_counts(self):
+        results = stub_results()
+        for claim in summary.CLAIMS:
+            claim.evaluate(results)
+        text = summary.render(results)
+        assert "12/12" in text
+        assert "PASS" in text
+
+    def test_every_claim_names_its_source(self):
+        for claim in summary.CLAIMS:
+            assert claim.source.startswith(("Figure", "Table"))

@@ -1,0 +1,66 @@
+"""Table/figure renderers against stubbed results (fast, no simulation)."""
+
+from repro.experiments import table7, table10, figures6_7, figures8_9
+from repro.workloads.uniprocessor import WORKLOAD_ORDER
+from repro.workloads.splash import SPLASH_ORDER
+
+
+def stub_table7():
+    return {(scheme, n): {w: 1.0 + 0.1 * n for w in WORKLOAD_ORDER}
+            for scheme in ("interleaved", "blocked") for n in (2, 4)}
+
+
+def stub_table10():
+    return {(scheme, n): {a: 1.5 for a in SPLASH_ORDER}
+            for scheme in ("interleaved", "blocked") for n in (2, 4, 8)}
+
+
+class TestTable7Render:
+    def test_contains_all_workloads_and_mean(self):
+        text = table7.render(stub_table7())
+        for w in WORKLOAD_ORDER:
+            assert w in text
+        assert "Mean" in text
+
+    def test_geometric_mean(self):
+        assert abs(table7.geometric_mean([1.0, 4.0]) - 2.0) < 1e-9
+        assert table7.geometric_mean([2.0]) == 2.0
+
+
+class TestTable10Render:
+    def test_contains_all_apps(self):
+        text = table10.render(stub_table10())
+        for a in SPLASH_ORDER:
+            assert a in text
+
+    def test_partial_configs(self):
+        partial = {("interleaved", 4): {a: 1.5 for a in SPLASH_ORDER}}
+        text = table10.render(partial,
+                              configs=(("interleaved", 4),))
+        assert "4 ctx interleaved" in text
+        assert "ctx blocked" not in text   # no blocked row rendered
+
+
+class TestFigureRenders:
+    def test_figures6_7_stub(self):
+        fractions = {"busy": 0.5, "instruction": 0.2, "inst_cache": 0.1,
+                     "data_cache": 0.1, "context_switch": 0.1}
+        result = {w: {n: dict(fractions) for n in (1, 2, 4)}
+                  for w in WORKLOAD_ORDER}
+        text = figures6_7.render(result, scheme="blocked")
+        assert "Figure 6" in text
+        text = figures6_7.render(result, scheme="interleaved")
+        assert "Figure 7" in text
+
+    def test_figures8_9_stub(self):
+        fractions = {"busy": 0.4, "instruction_short": 0.1,
+                     "instruction_long": 0.1, "memory": 0.2,
+                     "synchronization": 0.1, "context_switch": 0.1}
+        result = {a: {n: (1.0 / n, dict(fractions))
+                      for n in (1, 2, 4, 8)}
+                  for a in SPLASH_ORDER}
+        blocked = figures8_9.render(result, scheme="blocked")
+        assert "Figure 8" in blocked
+        # Bars shrink with contexts (normalised time 1/n).
+        lines = [l for l in blocked.splitlines() if "mp3d" in l]
+        assert lines[0].count("#") > lines[-1].count("#")

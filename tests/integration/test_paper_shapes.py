@@ -1,0 +1,96 @@
+"""Headline result shapes from the paper, at reduced scale.
+
+These are the acceptance tests of the reproduction: not absolute numbers
+(our substrate is a scaled simulator) but the orderings the paper's
+conclusions rest on.
+"""
+
+import pytest
+
+from repro.config import SystemConfig, MultiprocessorParams
+from repro.experiments.runner import ExperimentContext
+
+
+@pytest.fixture(scope="module")
+def ctx():
+    return ExperimentContext(
+        config=SystemConfig.fast(),
+        mp_params=MultiprocessorParams(n_nodes=4),
+        warmup=20_000, measure=80_000)
+
+
+class TestUniprocessorShapes:
+    """Section 5.1: workstation results."""
+
+    def test_interleaved_gains_with_four_contexts(self, ctx):
+        """Paper: +50% geometric mean; we require a clear gain."""
+        base = ctx.normalized_throughput("DC", "single", 1)
+        multi = ctx.normalized_throughput("DC", "interleaved", 4)
+        assert multi / base > 1.25
+
+    def test_interleaved_beats_blocked_on_dc(self, ctx):
+        """Paper: DC +65% interleaved vs +23% blocked at 4 contexts."""
+        inter = ctx.normalized_throughput("DC", "interleaved", 4)
+        blocked = ctx.normalized_throughput("DC", "blocked", 4)
+        assert inter > blocked
+
+    def test_interleaved_beats_blocked_on_sp(self, ctx):
+        inter = ctx.normalized_throughput("SP", "interleaved", 4)
+        blocked = ctx.normalized_throughput("SP", "blocked", 4)
+        assert inter > blocked
+
+    def test_blocked_gains_are_modest_on_ic(self, ctx):
+        """Paper: blocked gains little where stalls are short."""
+        base = ctx.normalized_throughput("IC", "single", 1)
+        blocked = ctx.normalized_throughput("IC", "blocked", 4)
+        inter = ctx.normalized_throughput("IC", "interleaved", 4)
+        assert inter > blocked
+        assert blocked / base < inter / base
+
+    def test_interleaved_tolerates_pipeline_dependencies(self, ctx):
+        """Instruction-stall fraction must shrink under interleaving."""
+        single = ctx.uniproc_run("FP", "single", 1)
+        inter = ctx.uniproc_run("FP", "interleaved", 4)
+        s_frac = single.result.stats.breakdown_fractions()["instruction"]
+        i_frac = inter.result.stats.breakdown_fractions()["instruction"]
+        assert i_frac < s_frac
+
+
+class TestMultiprocessorShapes:
+    """Section 5.2: multiprocessor results."""
+
+    def test_gains_larger_than_uniprocessor(self, ctx):
+        """Paper: 'performance gains ... much larger in the
+        multiprocessor environment' (mp3d is the memory-bound case)."""
+        speedup = ctx.mp_speedup("mp3d", "interleaved", 4)
+        assert speedup > 1.5
+
+    def test_interleaved_beats_blocked_at_four_contexts(self, ctx):
+        for app in ("barnes", "water", "ocean"):
+            inter = ctx.mp_speedup(app, "interleaved", 4)
+            blocked = ctx.mp_speedup(app, "blocked", 4)
+            assert inter >= blocked, app
+
+    def test_cholesky_shows_no_gain(self, ctx):
+        """Paper: 'only Cholesky shows no gains from multiple contexts'."""
+        s = ctx.mp_speedup("cholesky", "interleaved", 4)
+        assert s < 1.15
+
+    def test_fdiv_heavy_apps_gap(self, ctx):
+        """Barnes/Water: the largest interleaved-vs-blocked differences
+        ('large amounts of instruction latency, mainly ... divides')."""
+        gaps = {}
+        for app in ("barnes", "water", "ocean", "mp3d"):
+            inter = ctx.mp_speedup(app, "interleaved", 4)
+            blocked = ctx.mp_speedup(app, "blocked", 4)
+            gaps[app] = inter - blocked
+        assert max(gaps["barnes"], gaps["water"]) >= gaps["mp3d"]
+
+    def test_blocked_cannot_hide_short_stalls(self, ctx):
+        """Paper: short pipeline dependencies survive under blocked but
+        shrink under interleaved."""
+        blocked = ctx.mp_run("ocean", "blocked", 4)
+        inter = ctx.mp_run("ocean", "interleaved", 4)
+        b_short = blocked.breakdown_fractions()["instruction_short"]
+        i_short = inter.breakdown_fractions()["instruction_short"]
+        assert i_short < b_short

@@ -1,0 +1,95 @@
+"""Architectural equivalence: every scheme computes the same results.
+
+The multithreading schemes may reorder *interleavings* between threads,
+but a single thread's architectural outcome (registers, its own memory)
+must be identical across single/blocked/interleaved and any issue width,
+and identical to the reference functional interpreter.  This is the
+strongest whole-system invariant the simulator has.
+"""
+
+import pytest
+from dataclasses import replace
+
+from repro.isa.executor import Memory, run_functional
+from repro.config import PipelineParams, SystemConfig
+from repro.memory.hierarchy import MemorySystem
+from repro.core.processor import Processor
+from repro.core.simulator import Process
+from repro.core.sync import SyncManager
+from repro.workloads.kernels import KERNELS
+from repro.workloads.synthetic import StreamSpec, build_stream
+from repro.experiments.microbench import run_to_halt
+
+SCHEMES = (("single", 1, 1), ("blocked", 2, 1), ("interleaved", 2, 1),
+           ("interleaved", 2, 2))
+
+
+def run_timed(program_factory, scheme, n_contexts, width):
+    cfg = SystemConfig.fast()
+    pp = replace(cfg.pipeline, issue_width=width)
+    memory = Memory()
+    memsys = MemorySystem(cfg.memory)
+    proc = Processor(scheme, n_contexts, pp, memsys, memory,
+                     sync=SyncManager())
+    processes = []
+    for slot in range(n_contexts):
+        program = program_factory(slot)
+        program.load(memory)
+        process = Process("t%d" % slot, program)
+        processes.append(process)
+        proc.load_process(slot, process)
+    run_to_halt(proc, limit=5_000_000)
+    return processes, memory
+
+
+def reference(program_factory, n_contexts):
+    """Functional outcome of each thread run in isolation."""
+    outs = []
+    for slot in range(n_contexts):
+        program = program_factory(slot)
+        state, memory = run_functional(program, max_steps=5_000_000)
+        outs.append((state, memory))
+    return outs
+
+
+def assert_equivalent(program_factory, scheme, n_contexts, width):
+    refs = reference(program_factory, n_contexts)
+    processes, memory = run_timed(program_factory, scheme, n_contexts,
+                                  width)
+    for slot, process in enumerate(processes):
+        ref_state, ref_memory = refs[slot]
+        assert process.state.regs == ref_state.regs, \
+            (scheme, width, slot)
+        # Every word the reference run wrote must match (threads have
+        # disjoint address spaces here).
+        for word, value in ref_memory.words.items():
+            assert memory.words.get(word, 0) == value, \
+                (scheme, width, slot, hex(word * 4))
+
+
+class TestKernelEquivalence:
+    @pytest.mark.parametrize("scheme,n,width", SCHEMES)
+    @pytest.mark.parametrize("kernel", ["mxm", "eqntott", "cfft2d"])
+    def test_kernel_results_identical(self, kernel, scheme, n, width):
+        def factory(slot):
+            return KERNELS[kernel](
+                name="%s.%d" % (kernel, slot),
+                code_base=(slot + 1) * 0x8000 + slot * 0x11C0,
+                data_base=0x1000000 + slot * 0x211C0,
+                scale=0.25, iterations=1)
+        assert_equivalent(factory, scheme, n, width)
+
+
+class TestSyntheticEquivalence:
+    @pytest.mark.parametrize("scheme,n,width", SCHEMES)
+    def test_synthetic_results_identical(self, scheme, n, width):
+        def factory(slot):
+            spec = StreamSpec(seed=slot + 5, block_size=24,
+                              loop_iterations=6, footprint_words=128,
+                              fdiv_per_block=1)
+            return build_stream(
+                spec,
+                code_base=(slot + 1) * 0x8000 + slot * 0x11C0,
+                data_base=0x1000000 + slot * 0x211C0,
+                iterations=2)
+        assert_equivalent(factory, scheme, n, width)

@@ -1,0 +1,202 @@
+"""Text assembler: syntax, labels, pseudo-instructions, errors."""
+
+import pytest
+
+from repro.isa import assemble, AssemblerError
+from repro.isa.opcodes import Op
+from repro.isa.executor import run_functional
+
+
+def asm(src, **kw):
+    kw.setdefault("data_base", 0x100000)
+    return assemble(src, **kw)
+
+
+class TestBasics:
+    def test_empty_program(self):
+        prog = asm("")
+        assert len(prog) == 0
+
+    def test_comments_ignored(self):
+        prog = asm("""
+            # full line comment
+            add t0, t1, t2   # trailing comment
+            nop              ; semicolon comment
+        """)
+        assert len(prog) == 2
+
+    def test_instruction_fields(self):
+        prog = asm("addi t0, t1, -42")
+        inst = prog.instructions[0]
+        assert inst.op is Op.ADDI
+        assert inst.imm == -42
+
+    def test_hex_immediates(self):
+        prog = asm("andi t0, t1, 0xFF")
+        assert prog.instructions[0].imm == 255
+
+    def test_memory_operands(self):
+        prog = asm("lw t0, -8(sp)")
+        inst = prog.instructions[0]
+        assert inst.imm == -8
+        assert inst.rs1 == 29
+
+
+class TestLabels:
+    def test_backward_branch(self):
+        prog = asm("""
+        top:  addi t0, t0, 1
+              j top
+        """)
+        assert prog.instructions[1].imm == 0
+
+    def test_forward_branch(self):
+        prog = asm("""
+              beq t0, t1, done
+              nop
+        done: halt
+        """)
+        assert prog.instructions[0].imm == 2
+
+    def test_label_on_own_line(self):
+        prog = asm("""
+        start:
+              nop
+        """)
+        assert prog.labels["start"] == 0
+
+    def test_duplicate_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            asm("a: nop\na: nop")
+
+    def test_undefined_label_rejected(self):
+        with pytest.raises(AssemblerError):
+            asm("j nowhere")
+
+
+class TestDataSection:
+    def test_word_and_space(self):
+        prog = asm("""
+            .data
+        tbl:    .word 1, 2, -3
+        buf:    .space 4
+            .text
+            nop
+        """, data_base=0x2000)
+        assert prog.data.address_of("tbl") == 0x2000
+        assert prog.data.address_of("buf") == 0x2000 + 12
+        assert prog.data.words[:3] == [1, 2, -3]
+        assert prog.data.words[3:] == [0, 0, 0, 0]
+
+    def test_bare_data_label_attaches_to_next_directive(self):
+        prog = asm("""
+            .data
+        arr:
+            .space 2
+            .text
+            nop
+        """, data_base=0x3000)
+        assert prog.data.address_of("arr") == 0x3000
+
+    def test_data_symbol_as_load_offset(self):
+        prog = asm("""
+            .data
+        v:  .word 7
+            .text
+            lw t0, v(zero)
+            halt
+        """, data_base=0x4000)
+        state, mem = run_functional(prog)
+        assert state.regs[8] == 7
+
+    def test_instruction_in_data_rejected(self):
+        with pytest.raises(AssemblerError):
+            asm(".data\nadd t0, t1, t2")
+
+
+class TestPseudoInstructions:
+    def test_li_small(self):
+        prog = asm("li t0, 5")
+        assert len(prog) == 1
+        assert prog.instructions[0].op is Op.ADDI
+
+    def test_li_negative(self):
+        prog = asm("li t0, -100")
+        state, _ = run_functional(asm("li t0, -100\nhalt"))
+        assert state.regs[8] == -100
+
+    def test_li_large_expands(self):
+        prog = asm("li t0, 0x123456\nhalt")
+        state, _ = run_functional(prog)
+        assert state.regs[8] == 0x123456
+
+    def test_li_out_of_range(self):
+        with pytest.raises(AssemblerError):
+            asm("li t0, 0x10000000")   # 2^28: beyond the address space
+
+    def test_la_resolves_symbol(self):
+        prog = asm("""
+            .data
+        x:  .word 0
+            .text
+            la t0, x
+            halt
+        """, data_base=0x200000)
+        state, _ = run_functional(prog)
+        assert state.regs[8] == 0x200000
+
+    def test_la_unknown_symbol(self):
+        with pytest.raises(AssemblerError):
+            asm("la t0, missing")
+
+    def test_move_not_neg(self):
+        src = """
+            li  t1, 9
+            move t0, t1
+            not  t2, zero
+            neg  t3, t1
+            halt
+        """
+        state, _ = run_functional(asm(src))
+        assert state.regs[8] == 9
+        assert state.regs[10] == -1
+        assert state.regs[11] == -9
+
+    def test_bgt_ble_swap_operands(self):
+        src = """
+            li t0, 5
+            li t1, 3
+            bgt t0, t1, good
+            halt
+        good: li t2, 1
+            halt
+        """
+        state, _ = run_functional(asm(src))
+        assert state.regs[10] == 1
+
+
+class TestErrors:
+    def test_unknown_mnemonic(self):
+        with pytest.raises(AssemblerError):
+            asm("frobnicate t0")
+
+    def test_wrong_operand_count(self):
+        with pytest.raises(AssemblerError):
+            asm("add t0, t1")
+
+    def test_bad_register(self):
+        with pytest.raises(AssemblerError):
+            asm("add q0, t1, t2")
+
+    def test_bad_memory_operand(self):
+        with pytest.raises(AssemblerError):
+            asm("lw t0, t1")
+
+    def test_error_reports_line_number(self):
+        with pytest.raises(AssemblerError) as exc:
+            asm("nop\nbogus t0\n")
+        assert "line 2" in str(exc.value)
+
+    def test_unknown_directive(self):
+        with pytest.raises(AssemblerError):
+            asm(".bss\n")

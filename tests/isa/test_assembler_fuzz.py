@@ -1,0 +1,93 @@
+"""Property-based assembler fuzzing.
+
+Random programs are generated structurally (so they are always valid),
+assembled, listed, re-assembled, and encoded — all representations must
+agree.
+"""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.isa import assemble
+from repro.isa.encoding import encode, decode
+from repro.isa.registers import REG_NAMES, FREG_NAMES
+
+_INT_REGS = st.sampled_from([r for r in REG_NAMES if r != "zero"])
+_FP_REGS = st.sampled_from(list(FREG_NAMES))
+_IMM = st.integers(-8000, 8000)
+_UIMM = st.integers(0, 16000)
+
+
+@st.composite
+def instruction_line(draw):
+    kind = draw(st.sampled_from(
+        ["rrr", "rri", "logic", "shift", "mem", "fp", "fmem", "misc"]))
+    if kind == "rrr":
+        op = draw(st.sampled_from(["add", "sub", "and", "or", "xor",
+                                   "nor", "slt", "sltu", "mul"]))
+        return "%s %s, %s, %s" % (op, draw(_INT_REGS), draw(_INT_REGS),
+                                  draw(_INT_REGS))
+    if kind == "rri":
+        op = draw(st.sampled_from(["addi", "slti"]))
+        return "%s %s, %s, %d" % (op, draw(_INT_REGS), draw(_INT_REGS),
+                                  draw(_IMM))
+    if kind == "logic":
+        op = draw(st.sampled_from(["andi", "ori", "xori"]))
+        return "%s %s, %s, %d" % (op, draw(_INT_REGS), draw(_INT_REGS),
+                                  draw(_UIMM))
+    if kind == "shift":
+        op = draw(st.sampled_from(["sll", "srl", "sra"]))
+        return "%s %s, %s, %d" % (op, draw(_INT_REGS), draw(_INT_REGS),
+                                  draw(st.integers(0, 31)))
+    if kind == "mem":
+        op = draw(st.sampled_from(["lw", "sw"]))
+        return "%s %s, %d(%s)" % (op, draw(_INT_REGS),
+                                  draw(st.integers(-256, 256)) * 4,
+                                  draw(_INT_REGS))
+    if kind == "fp":
+        op = draw(st.sampled_from(["fadd", "fsub", "fmul", "fdiv"]))
+        return "%s %s, %s, %s" % (op, draw(_FP_REGS), draw(_FP_REGS),
+                                  draw(_FP_REGS))
+    if kind == "fmem":
+        op = draw(st.sampled_from(["lwf", "swf"]))
+        return "%s %s, %d(%s)" % (op, draw(_FP_REGS),
+                                  draw(st.integers(0, 128)) * 4,
+                                  draw(_INT_REGS))
+    return draw(st.sampled_from(["nop", "switch", "backoff 10"]))
+
+
+@st.composite
+def program_source(draw):
+    lines = draw(st.lists(instruction_line(), min_size=1, max_size=40))
+    # A well-formed skeleton: a loop wrapping the random body.
+    src = ["    li s0, %d" % draw(st.integers(1, 4)), "top:"]
+    src.extend("    " + line for line in lines)
+    src.extend(["    addi s0, s0, -1", "    bgtz s0, top",
+                "    halt"])
+    return "\n".join(src)
+
+
+class TestAssemblerProperties:
+    @settings(max_examples=60, deadline=None)
+    @given(src=program_source())
+    def test_listing_round_trip(self, src):
+        prog = assemble(src, data_base=0x10000)
+        relisted = assemble(prog.listing(), data_base=0x10000)
+        assert [i.disassemble() for i in prog.instructions] == \
+            [i.disassemble() for i in relisted.instructions]
+
+    @settings(max_examples=60, deadline=None)
+    @given(src=program_source())
+    def test_every_instruction_encodes(self, src):
+        prog = assemble(src, data_base=0x10000)
+        for i, inst in enumerate(prog.instructions):
+            word = encode(inst, i)
+            assert 0 <= word < (1 << 32)
+            assert decode(word, i).disassemble() == inst.disassemble()
+
+    @settings(max_examples=30, deadline=None)
+    @given(src=program_source())
+    def test_assembly_is_deterministic(self, src):
+        a = assemble(src, data_base=0x10000)
+        b = assemble(src, data_base=0x10000)
+        assert [i.disassemble() for i in a.instructions] == \
+            [i.disassemble() for i in b.instructions]

@@ -1,0 +1,110 @@
+"""AsmBuilder: programmatic program construction."""
+
+import pytest
+
+from repro.isa import AsmBuilder, AssemblerError
+from repro.isa.opcodes import Op
+from repro.isa.executor import run_functional
+
+
+class TestEmission:
+    def test_simple_program(self):
+        b = AsmBuilder("t", data_base=0x1000)
+        b.li("t0", 2)
+        b.li("t1", 3)
+        b.add("t2", "t0", "t1")
+        b.halt()
+        state, _ = run_functional(b.build())
+        assert state.regs[10] == 5
+
+    def test_forward_label(self):
+        b = AsmBuilder("t")
+        b.li("t0", 1)
+        b.beq("t0", "zero", "end")
+        b.li("t1", 7)
+        b.label("end")
+        b.halt()
+        state, _ = run_functional(b.build())
+        assert state.regs[9] == 7
+
+    def test_undefined_label_raises_at_build(self):
+        b = AsmBuilder("t")
+        b.j("nowhere")
+        with pytest.raises(AssemblerError):
+            b.build()
+
+    def test_duplicate_label_raises(self):
+        b = AsmBuilder("t")
+        b.label("x")
+        with pytest.raises(AssemblerError):
+            b.label("x")
+
+    def test_fresh_labels_unique(self):
+        b = AsmBuilder("t")
+        assert b.fresh_label() != b.fresh_label()
+
+    def test_unknown_mnemonic_raises_attribute_error(self):
+        b = AsmBuilder("t")
+        with pytest.raises(AttributeError):
+            b.frobnicate("t0")
+
+    def test_memory_format(self):
+        b = AsmBuilder("t", data_base=0x2000)
+        addr = b.word("v", [11])
+        b.li("t0", addr)
+        b.lw("t1", 0, "t0")
+        b.halt()
+        state, _ = run_functional(b.build())
+        assert state.regs[9] == 11
+
+    def test_register_ids_accepted(self):
+        b = AsmBuilder("t")
+        b.addi(8, 0, 4)     # numeric flat ids
+        b.halt()
+        state, _ = run_functional(b.build())
+        assert state.regs[8] == 4
+
+
+class TestDataHelpers:
+    def test_space_and_word_addresses(self):
+        b = AsmBuilder("t", data_base=0x4000)
+        a = b.space("a", 3)
+        w = b.word("w", [5, 6])
+        assert a == 0x4000
+        assert w == 0x4000 + 12
+        assert b.addr("w") == w
+
+    def test_data_loads_into_memory(self):
+        from repro.isa.executor import Memory
+        b = AsmBuilder("t", data_base=0x4000)
+        b.word("w", [5, 6])
+        b.halt()
+        prog = b.build()
+        mem = Memory()
+        prog.load(mem)
+        assert mem.read(0x4000) == 5
+        assert mem.read(0x4004) == 6
+
+    def test_move_pseudo(self):
+        b = AsmBuilder("t")
+        b.li("t0", 3)
+        b.move("t1", "t0")
+        b.halt()
+        state, _ = run_functional(b.build())
+        assert state.regs[9] == 3
+
+    def test_code_base_respected(self):
+        b = AsmBuilder("t", code_base=0x8000)
+        b.nop()
+        prog = b.build()
+        assert prog.pc_address(0) == 0x8000
+        assert prog.pc_address(1) == 0x8004
+
+    def test_listing_contains_labels(self):
+        b = AsmBuilder("t")
+        b.label("main")
+        b.nop()
+        b.halt()
+        listing = b.build().listing()
+        assert "main:" in listing
+        assert "nop" in listing

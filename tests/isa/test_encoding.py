@@ -1,0 +1,108 @@
+"""Binary encoding round-trips and range checks."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.opcodes import Op, OP_INFO
+from repro.isa.instruction import Instruction
+from repro.isa.encoding import encode, decode, EncodingError
+from repro.isa import assemble
+
+
+class TestRoundTrip:
+    def test_r_format(self):
+        inst = Instruction(Op.ADD, rd=8, rs1=9, rs2=10)
+        assert decode(encode(inst)).disassemble() == inst.disassemble()
+
+    def test_fp_registers(self):
+        inst = Instruction(Op.FMUL, rd=33, rs1=40, rs2=63)
+        back = decode(encode(inst))
+        assert (back.rd, back.rs1, back.rs2) == (33, 40, 63)
+
+    def test_negative_immediate(self):
+        inst = Instruction(Op.ADDI, rd=8, rs1=9, imm=-8192)
+        assert decode(encode(inst)).imm == -8192
+
+    def test_branch_pc_relative(self):
+        inst = Instruction(Op.BEQ, rs1=8, rs2=9, imm=100)
+        word = encode(inst, index=90)
+        back = decode(word, index=90)
+        assert back.imm == 100
+
+    def test_branch_backward(self):
+        inst = Instruction(Op.BNE, rs1=8, rs2=9, imm=5)
+        assert decode(encode(inst, index=50), index=50).imm == 5
+
+    def test_jump_absolute(self):
+        inst = Instruction(Op.J, imm=123456)
+        assert decode(encode(inst)).imm == 123456
+
+    def test_unsigned_ops_full_range(self):
+        inst = Instruction(Op.ORI, rd=8, rs1=8, imm=0x3FFF)
+        assert decode(encode(inst)).imm == 0x3FFF
+
+    def test_whole_program_round_trips(self):
+        prog = assemble("""
+            .data
+        v:  .word 1, 2, 3
+            .text
+            la t0, v
+            li t1, 100000
+        top: lw t2, 0(t0)
+            add t3, t3, t2
+            blez t1, out
+            addi t1, t1, -1
+            j top
+        out: halt
+        """, data_base=0x100000)
+        for i, inst in enumerate(prog.instructions):
+            back = decode(encode(inst, i), i)
+            assert back.disassemble() == inst.disassemble()
+
+
+class TestRangeChecks:
+    def test_signed_imm_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Op.ADDI, rd=8, rs1=9, imm=8192))
+
+    def test_unsigned_imm_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Op.ORI, rd=8, rs1=8, imm=0x4000))
+
+    def test_negative_unsigned_imm(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Op.LUI, rd=8, imm=-1))
+
+    def test_branch_needs_index(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Op.BEQ, rs1=8, rs2=9, imm=0))
+
+    def test_branch_offset_overflow(self):
+        with pytest.raises(EncodingError):
+            encode(Instruction(Op.BEQ, rs1=8, rs2=9, imm=20000), index=0)
+
+    def test_bad_opcode_field(self):
+        with pytest.raises(EncodingError):
+            decode(0x3F << 26)
+
+
+_SIMPLE_OPS = [op for op in Op
+               if OP_INFO[op].fmt in ("rrr", "rri", "ri", "ld", "st",
+                                      "jr", "jalr", "fr2", "none")]
+
+
+class TestPropertyRoundTrip:
+    @given(op=st.sampled_from(_SIMPLE_OPS),
+           rd=st.integers(0, 63), rs1=st.integers(0, 63),
+           rs2=st.integers(0, 63), imm=st.integers(-8192, 8191))
+    def test_random_instructions_round_trip(self, op, rd, rs1, rs2, imm):
+        info = OP_INFO[op]
+        if op in (Op.LUI, Op.ORI, Op.ANDI, Op.XORI) and imm < 0:
+            imm = -imm - 1
+        inst = Instruction(op, rd=rd, rs1=rs1, rs2=rs2, imm=imm)
+        back = decode(encode(inst, 0), 0)
+        assert back.op is op
+        if info.fmt in ("rrr", "rri", "ri", "ld", "st", "jalr", "fr2"):
+            assert back.rd == rd
+        if info.fmt in ("rri", "ld", "st", "ri", "i"):
+            assert back.imm == imm

@@ -1,0 +1,92 @@
+"""Instruction read/write set derivation."""
+
+from repro.isa.opcodes import Op
+from repro.isa.instruction import Instruction
+from repro.isa.registers import reg_num
+
+
+def R(name):
+    return reg_num(name)
+
+
+class TestReadWriteSets:
+    def test_rrr_reads_both_sources(self):
+        inst = Instruction(Op.ADD, rd=R("t0"), rs1=R("t1"), rs2=R("t2"))
+        assert set(inst.reads) == {R("t1"), R("t2")}
+        assert inst.writes == R("t0")
+
+    def test_store_reads_data_and_base(self):
+        inst = Instruction(Op.SW, rd=R("t0"), rs1=R("t1"), imm=4)
+        assert set(inst.reads) == {R("t0"), R("t1")}
+        assert inst.writes == -1
+
+    def test_load_reads_base_writes_dest(self):
+        inst = Instruction(Op.LW, rd=R("t0"), rs1=R("t1"), imm=4)
+        assert inst.reads == (R("t1"),)
+        assert inst.writes == R("t0")
+
+    def test_r0_never_a_dependency(self):
+        inst = Instruction(Op.ADD, rd=0, rs1=0, rs2=R("t1"))
+        assert inst.reads == (R("t1"),)
+        assert inst.writes == -1    # writes to r0 are discarded
+
+    def test_branch_reads_no_writes(self):
+        inst = Instruction(Op.BEQ, rs1=R("t1"), rs2=R("t2"), imm=7)
+        assert set(inst.reads) == {R("t1"), R("t2")}
+        assert inst.writes == -1
+
+    def test_jal_writes_ra(self):
+        inst = Instruction(Op.JAL, imm=12)
+        assert inst.writes == 31
+
+    def test_jalr_reads_and_links(self):
+        inst = Instruction(Op.JALR, rd=R("t0"), rs1=R("t1"))
+        assert inst.reads == (R("t1"),)
+        assert inst.writes == R("t0")
+
+    def test_fp_regs_in_flat_space(self):
+        inst = Instruction(Op.FADD, rd=R("f1"), rs1=R("f2"), rs2=R("f3"))
+        assert set(inst.reads) == {R("f2"), R("f3")}
+        assert inst.writes == R("f1")
+
+    def test_lock_reads_base_only(self):
+        inst = Instruction(Op.LOCK, rs1=R("t1"), imm=0)
+        assert inst.reads == (R("t1"),)
+        assert inst.writes == -1
+
+    def test_lui_no_reads(self):
+        inst = Instruction(Op.LUI, rd=R("t0"), imm=3)
+        assert inst.reads == ()
+
+
+class TestHelpers:
+    def test_is_mem(self):
+        assert Instruction(Op.LW, rd=8, rs1=9).is_mem
+        assert Instruction(Op.SW, rd=8, rs1=9).is_mem
+        assert not Instruction(Op.ADD, rd=8, rs1=9, rs2=10).is_mem
+
+    def test_is_control(self):
+        assert Instruction(Op.J, imm=0).is_control
+        assert Instruction(Op.BNE, rs1=8, rs2=9, imm=0).is_control
+        assert not Instruction(Op.NOP).is_control
+
+    def test_disassemble_all_formats(self):
+        samples = [
+            Instruction(Op.ADD, rd=8, rs1=9, rs2=10),
+            Instruction(Op.ADDI, rd=8, rs1=9, imm=-3),
+            Instruction(Op.LUI, rd=8, imm=5),
+            Instruction(Op.LW, rd=8, rs1=9, imm=16),
+            Instruction(Op.SW, rd=8, rs1=9, imm=16),
+            Instruction(Op.BEQ, rs1=8, rs2=9, imm=3),
+            Instruction(Op.BLEZ, rs1=8, imm=3),
+            Instruction(Op.J, imm=3),
+            Instruction(Op.JR, rs1=31),
+            Instruction(Op.JALR, rd=8, rs1=9),
+            Instruction(Op.FMOV, rd=33, rs1=34),
+            Instruction(Op.BACKOFF, imm=10),
+            Instruction(Op.LOCK, rs1=8, imm=0),
+            Instruction(Op.NOP),
+        ]
+        for inst in samples:
+            text = inst.disassemble()
+            assert text.startswith(inst.info.mnemonic)

@@ -1,0 +1,73 @@
+"""Opcode metadata, including the paper's Table 3 latencies."""
+
+from repro.isa.opcodes import Op, OP_INFO, MNEMONIC_TO_OP, FU, FORMATS
+
+
+class TestTable3Latencies:
+    """The operation latencies the paper's pipeline model depends on."""
+
+    def test_integer_alu_single_cycle(self):
+        for op in (Op.ADD, Op.ADDI, Op.SUB, Op.AND, Op.OR, Op.XOR,
+                   Op.SLT, Op.LUI):
+            assert OP_INFO[op].latency == 1
+            assert OP_INFO[op].issue == 1
+
+    def test_shift_two_cycles(self):
+        for op in (Op.SLL, Op.SRL, Op.SRA, Op.SLLV, Op.SRLV, Op.SRAV):
+            assert OP_INFO[op].latency == 2
+
+    def test_load_three_cycles(self):
+        # "Load operations are followed by two delay slots."
+        assert OP_INFO[Op.LW].latency == 3
+        assert OP_INFO[Op.LWF].latency == 3
+
+    def test_integer_multiply_divide(self):
+        assert OP_INFO[Op.MUL].latency == 12
+        assert OP_INFO[Op.DIV].latency == 35
+        # non-pipelined: issue occupancy equals latency
+        assert OP_INFO[Op.MUL].issue == 12
+        assert OP_INFO[Op.DIV].issue == 35
+
+    def test_fp_add_class_five_cycles(self):
+        for op in (Op.FADD, Op.FSUB, Op.FMUL, Op.FCVTIF, Op.FCVTFI):
+            assert OP_INFO[op].latency == 5
+            assert OP_INFO[op].issue == 1   # pipelined
+
+    def test_fp_divide(self):
+        assert OP_INFO[Op.FDIV].latency == 61
+        assert OP_INFO[Op.FDIV].issue == 61
+        assert OP_INFO[Op.FDIVS].latency == 31
+        assert OP_INFO[Op.FDIVS].issue == 31
+
+
+class TestMetadataConsistency:
+    def test_every_op_has_info(self):
+        assert set(OP_INFO) == set(Op)
+
+    def test_formats_are_known(self):
+        for info in OP_INFO.values():
+            assert info.fmt in FORMATS
+
+    def test_mnemonics_unique(self):
+        assert len(MNEMONIC_TO_OP) == len(Op)
+
+    def test_loads_and_stores_flagged(self):
+        assert OP_INFO[Op.LW].is_load and not OP_INFO[Op.LW].is_store
+        assert OP_INFO[Op.SW].is_store and not OP_INFO[Op.SW].is_load
+        assert OP_INFO[Op.LWF].writes_fp
+        assert OP_INFO[Op.SWF].reads_fp
+
+    def test_control_flags(self):
+        for op in (Op.BEQ, Op.BNE, Op.BLT, Op.BGE, Op.BLEZ, Op.BGTZ):
+            assert OP_INFO[op].is_branch
+        for op in (Op.J, Op.JAL, Op.JR, Op.JALR):
+            assert OP_INFO[op].is_jump
+
+    def test_sync_ops_flagged(self):
+        for op in (Op.LOCK, Op.UNLOCK, Op.BARRIER):
+            assert OP_INFO[op].is_sync
+
+    def test_divide_units(self):
+        assert OP_INFO[Op.DIV].unit is FU.MULDIV
+        assert OP_INFO[Op.FDIV].unit is FU.FPDIV
+        assert OP_INFO[Op.FADD].unit is FU.FPADD

@@ -1,0 +1,76 @@
+"""Program and DataSegment containers."""
+
+import pytest
+
+from repro.isa import assemble, AsmBuilder
+from repro.isa.program import DataSegment, Program
+from repro.isa.executor import Memory
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+
+
+class TestDataSegment:
+    def test_define_layout(self):
+        seg = DataSegment(0x1000)
+        a = seg.define("a", 3)
+        b = seg.define("b", 2, init=[7, 8])
+        assert a == 0x1000
+        assert b == 0x1000 + 12
+        assert seg.size_bytes == 20
+        assert seg.words == [0, 0, 0, 7, 8]
+
+    def test_duplicate_symbol_rejected(self):
+        seg = DataSegment(0)
+        seg.define("a", 1)
+        with pytest.raises(ValueError):
+            seg.define("a", 1)
+
+    def test_init_length_checked(self):
+        seg = DataSegment(0)
+        with pytest.raises(ValueError):
+            seg.define("a", 3, init=[1])
+
+    def test_load_writes_image(self):
+        seg = DataSegment(0x2000)
+        seg.define("a", 2, init=[5, 6])
+        mem = Memory()
+        seg.load(mem)
+        assert mem.read(0x2000) == 5
+        assert mem.read(0x2004) == 6
+
+
+class TestProgram:
+    def test_indices_assigned(self):
+        insts = [Instruction(Op.NOP), Instruction(Op.HALT)]
+        prog = Program("p", insts, {}, None)
+        assert [i.index for i in prog.instructions] == [0, 1]
+
+    def test_pc_address(self):
+        prog = Program("p", [Instruction(Op.NOP)], {}, None,
+                       code_base=0x8000)
+        assert prog.pc_address(0) == 0x8000
+        assert prog.pc_address(3) == 0x800C
+
+    def test_load_without_data_segment(self):
+        prog = Program("p", [Instruction(Op.HALT)], {}, None)
+        prog.load(Memory())    # no-op, no crash
+
+    def test_listing_round_trips_through_assembler(self):
+        """listing() output is valid assembler input."""
+        src = """
+            li  t0, 10
+        top: addi t1, t1, 2
+            addi t0, t0, -1
+            bgtz t0, top
+            halt
+        """
+        prog = assemble(src, data_base=0x1000)
+        relisted = assemble(prog.listing(), data_base=0x1000)
+        assert [i.disassemble() for i in relisted.instructions] == \
+            [i.disassemble() for i in prog.instructions]
+
+    def test_len(self):
+        b = AsmBuilder("p")
+        b.nop()
+        b.halt()
+        assert len(b.build()) == 2

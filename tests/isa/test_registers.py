@@ -1,0 +1,61 @@
+"""Register naming and numbering."""
+
+import pytest
+
+from repro.isa.registers import (
+    reg_num, reg_name, is_fp_reg, FP_BASE, NUM_INT_REGS, NUM_FP_REGS,
+    ABI_NAMES,
+)
+
+
+class TestRegNum:
+    def test_abi_names(self):
+        assert reg_num("zero") == 0
+        assert reg_num("t0") == 8
+        assert reg_num("s0") == 16
+        assert reg_num("sp") == 29
+        assert reg_num("ra") == 31
+
+    def test_numeric_names(self):
+        for i in range(NUM_INT_REGS):
+            assert reg_num("r%d" % i) == i
+
+    def test_fp_names(self):
+        for i in range(NUM_FP_REGS):
+            assert reg_num("f%d" % i) == FP_BASE + i
+
+    def test_dollar_prefix(self):
+        assert reg_num("$t0") == reg_num("t0")
+        assert reg_num("$f3") == reg_num("f3")
+
+    def test_case_insensitive(self):
+        assert reg_num("T0") == reg_num("t0")
+
+    def test_unknown_raises(self):
+        with pytest.raises(KeyError):
+            reg_num("x99")
+
+
+class TestRegName:
+    def test_round_trip_int(self):
+        for i in range(NUM_INT_REGS):
+            assert reg_num(reg_name(i)) == i
+
+    def test_round_trip_fp(self):
+        for i in range(FP_BASE, FP_BASE + NUM_FP_REGS):
+            assert reg_num(reg_name(i)) == i
+
+    def test_out_of_range(self):
+        with pytest.raises(ValueError):
+            reg_name(64)
+
+    def test_abi_table_complete(self):
+        assert len(ABI_NAMES) == 32
+        assert len(set(ABI_NAMES)) == 32
+
+
+class TestIsFpReg:
+    def test_boundaries(self):
+        assert not is_fp_reg(31)
+        assert is_fp_reg(32)
+        assert is_fp_reg(63)

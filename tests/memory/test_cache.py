@@ -1,0 +1,146 @@
+"""Direct-mapped cache tag model."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.config import CacheParams
+from repro.memory.cache import DirectMappedCache
+
+
+def make_cache(size=1024, line=32):
+    return DirectMappedCache(CacheParams("test", size, line))
+
+
+class TestAddressing:
+    def test_line_addr(self):
+        c = make_cache()
+        assert c.line_addr(0x1234) == 0x1220
+
+    def test_index_wraps(self):
+        c = make_cache(size=1024, line=32)    # 32 lines
+        assert c.index_of(0) == c.index_of(1024)
+        assert c.index_of(0) != c.index_of(32)
+
+    def test_non_power_of_two_rejected(self):
+        with pytest.raises(ValueError):
+            DirectMappedCache(CacheParams("bad", 1000, 32))
+
+
+class TestLookupFill:
+    def test_cold_miss_then_hit(self):
+        c = make_cache()
+        assert not c.lookup(0x100)
+        c.fill(0x100)
+        assert c.lookup(0x100)
+        assert c.hits == 1 and c.misses == 1
+
+    def test_same_line_hits(self):
+        c = make_cache()
+        c.fill(0x100)
+        assert c.lookup(0x100 + 31)
+        assert not c.lookup(0x100 + 32)
+
+    def test_conflict_eviction(self):
+        c = make_cache(size=1024, line=32)
+        c.fill(0x100)
+        c.fill(0x100 + 1024)      # same index, different tag
+        assert not c.lookup(0x100)
+
+    def test_clean_eviction_returns_none(self):
+        c = make_cache(size=1024)
+        c.fill(0x100)
+        assert c.fill(0x100 + 1024) is None
+
+    def test_dirty_eviction_returns_victim_address(self):
+        c = make_cache(size=1024)
+        c.fill(0x100)
+        c.mark_dirty(0x104)
+        victim = c.fill(0x100 + 1024)
+        assert victim == 0x100
+        assert c.writebacks == 1
+
+    def test_mark_dirty_requires_presence(self):
+        c = make_cache()
+        c.mark_dirty(0x100)       # absent: no effect
+        c.fill(0x200)
+        assert c.fill(0x200 + 1024) is None or True  # no dirty wb for 0x100
+
+
+class TestInvalidate:
+    def test_invalidate_present(self):
+        c = make_cache()
+        c.fill(0x100)
+        assert c.invalidate(0x100)
+        assert not c.present(0x100)
+
+    def test_invalidate_absent_is_noop(self):
+        c = make_cache()
+        assert not c.invalidate(0x100)
+
+    def test_invalidate_clears_dirty(self):
+        c = make_cache(size=1024)
+        c.fill(0x100)
+        c.mark_dirty(0x100)
+        c.invalidate(0x100)
+        c.fill(0x100)
+        assert c.fill(0x100 + 1024) is None   # no writeback: not dirty
+
+    def test_displace_random(self):
+        c = make_cache(size=1024)
+        for i in range(32):
+            c.fill(i * 32)
+        c.displace_random(32, random.Random(1))
+        present = sum(c.present(i * 32) for i in range(32))
+        assert present < 32
+
+    def test_flush(self):
+        c = make_cache()
+        c.fill(0x100)
+        c.flush()
+        assert not c.present(0x100)
+
+
+class TestStatistics:
+    def test_miss_rate(self):
+        c = make_cache()
+        c.lookup(0x100)
+        c.fill(0x100)
+        c.lookup(0x100)
+        assert c.miss_rate == 0.5
+
+    def test_present_does_not_count(self):
+        c = make_cache()
+        c.present(0x100)
+        assert c.hits == 0 and c.misses == 0
+
+
+class ReferenceCache:
+    """Dict-based reference model of a direct-mapped cache."""
+
+    def __init__(self, n_lines, line):
+        self.n_lines = n_lines
+        self.line = line
+        self.sets = {}
+
+    def fill(self, addr):
+        self.sets[(addr // self.line) % self.n_lines] = addr // self.line
+
+    def present(self, addr):
+        return self.sets.get(
+            (addr // self.line) % self.n_lines) == addr // self.line
+
+
+class TestAgainstReference:
+    @given(st.lists(st.integers(0, 1 << 20), min_size=1, max_size=200))
+    def test_presence_matches_reference(self, addrs):
+        c = make_cache(size=1024, line=32)
+        ref = ReferenceCache(32, 32)
+        for addr in addrs:
+            if not c.lookup(addr):
+                c.fill(addr)
+            ref.fill(addr)
+            assert c.present(addr) == ref.present(addr)
+        for addr in addrs:
+            assert c.present(addr) == ref.present(addr)

@@ -1,0 +1,91 @@
+"""Property-based tests of the memory hierarchy's timing guarantees."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.config import MemoryParams
+from repro.memory.hierarchy import MemorySystem
+
+_ACCESS = st.tuples(
+    st.integers(0, 1 << 18),      # address (word-aligned below)
+    st.booleans(),                # write?
+    st.integers(0, 8),            # inter-arrival gap
+)
+
+
+def _aligned(addr):
+    return addr & ~3
+
+
+class TestTimingInvariants:
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_ACCESS, min_size=1, max_size=150))
+    def test_results_never_in_the_past(self, ops):
+        m = MemorySystem(MemoryParams())
+        now = 0
+        for addr, write, gap in ops:
+            now += gap
+            res = m.data_access(_aligned(addr), write, now)
+            assert res.ready >= now
+            assert res.level in ("l1", "l2", "mem", "pending", "tlb",
+                                 "mshr")
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_ACCESS, min_size=1, max_size=150))
+    def test_latency_classes_bounded_below(self, ops):
+        """A miss can see queueing, but never beats Table 2 unloaded."""
+        m = MemorySystem(MemoryParams())
+        now = 0
+        for addr, write, gap in ops:
+            now += gap
+            res = m.data_access(_aligned(addr), write, now)
+            if res.level == "l2":
+                assert res.ready - now >= m.params.l2_hit_latency
+            elif res.level == "mem":
+                assert res.ready - now >= m.params.memory_latency
+            elif res.level == "tlb":
+                assert res.ready - now == m.params.tlb.miss_penalty
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.lists(_ACCESS, min_size=1, max_size=100))
+    def test_mshr_entries_bounded(self, ops):
+        m = MemorySystem(MemoryParams(mshr_capacity=4))
+        now = 0
+        for addr, write, gap in ops:
+            now += gap
+            m.data_access(_aligned(addr), write, now)
+            assert len(m.mshr) <= 4
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(st.integers(0, 1 << 16), min_size=2, max_size=60))
+    def test_same_line_requests_merge_while_pending(self, addrs):
+        m = MemorySystem(MemoryParams())
+        # Warm the TLB so every access reaches the cache path.
+        for addr in addrs:
+            m.dtlb.lookup(_aligned(addr))
+        pending = {}
+        now = 0
+        for addr in addrs:
+            addr = _aligned(addr)
+            line = m.l1d.line_addr(addr)
+            res = m.data_access(addr, False, now)
+            if res.level == "pending":
+                assert pending.get(line) == res.ready
+            elif res.level in ("l2", "mem"):
+                pending[line] = res.ready
+            now += 1
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.lists(_ACCESS, min_size=1, max_size=100))
+    def test_inclusive_hierarchy(self, ops):
+        """Every line present in L1D must also be present in L2."""
+        m = MemorySystem(MemoryParams())
+        now = 0
+        touched = set()
+        for addr, write, gap in ops:
+            addr = _aligned(addr)
+            now += gap + 40         # let fills land
+            m.data_access(addr, write, now)
+            touched.add(m.l1d.line_addr(addr))
+        for line in touched:
+            if m.l1d.present(line):
+                assert m.l2.present(line)

@@ -1,0 +1,126 @@
+"""MSHR file, TLB, and contention resources."""
+
+from collections import OrderedDict
+
+from hypothesis import given, strategies as st
+
+from repro.config import TLBParams
+from repro.memory.mshr import MSHRFile
+from repro.memory.tlb import TLB
+from repro.memory.resource import Resource
+
+
+class TestMSHR:
+    def test_allocate_and_pending(self):
+        m = MSHRFile(2)
+        assert m.allocate(0x100, completion=50)
+        assert m.pending(0x100) == 50
+        assert m.pending(0x200) is None
+
+    def test_merge_counts(self):
+        m = MSHRFile(2)
+        m.allocate(0x100, 50)
+        assert m.merge(0x100) == 50
+        assert m.merges == 1
+
+    def test_capacity_limit(self):
+        m = MSHRFile(2)
+        assert m.allocate(0x100, 50)
+        assert m.allocate(0x200, 60)
+        assert not m.allocate(0x300, 70)
+        assert m.structural_stalls == 1
+
+    def test_purge_retires_completed(self):
+        m = MSHRFile(2)
+        m.allocate(0x100, 50)
+        m.allocate(0x200, 60)
+        m.purge(55)
+        assert m.pending(0x100) is None
+        assert m.pending(0x200) == 60
+
+    def test_earliest_completion(self):
+        m = MSHRFile(4)
+        assert m.earliest_completion() is None
+        m.allocate(0x100, 70)
+        m.allocate(0x200, 50)
+        assert m.earliest_completion() == 50
+
+
+class TestTLB:
+    def test_miss_then_hit(self):
+        tlb = TLB(TLBParams(entries=4))
+        assert not tlb.lookup(0x1000)
+        assert tlb.lookup(0x1000)
+        assert tlb.lookup(0x1FFF)       # same 4K page
+
+    def test_capacity_eviction_lru(self):
+        tlb = TLB(TLBParams(entries=2))
+        tlb.lookup(0x1000)
+        tlb.lookup(0x2000)
+        tlb.lookup(0x1000)              # refresh page 1
+        tlb.lookup(0x3000)              # evicts page 2 (LRU)
+        assert tlb.lookup(0x1000)
+        assert not tlb.lookup(0x2000)
+
+    def test_flush(self):
+        tlb = TLB(TLBParams(entries=4))
+        tlb.lookup(0x1000)
+        tlb.flush()
+        assert not tlb.lookup(0x1000)
+
+    def test_miss_rate(self):
+        tlb = TLB(TLBParams(entries=4))
+        tlb.lookup(0x1000)
+        tlb.lookup(0x1000)
+        assert tlb.miss_rate == 0.5
+
+    @given(st.lists(st.integers(0, 63), min_size=1, max_size=300))
+    def test_matches_lru_reference(self, pages):
+        entries = 8
+        tlb = TLB(TLBParams(entries=entries))
+        ref = OrderedDict()
+        for page in pages:
+            got = tlb.lookup(page << 12)
+            expect = page in ref
+            if expect:
+                ref.move_to_end(page)
+            else:
+                if len(ref) >= entries:
+                    ref.popitem(last=False)
+                ref[page] = True
+            assert got == expect
+
+
+class TestResource:
+    def test_immediate_grant(self):
+        r = Resource("r")
+        assert r.acquire(10, 5) == 10
+        assert r.busy_until == 15
+
+    def test_queuing_delay(self):
+        r = Resource("r")
+        r.acquire(10, 5)
+        assert r.acquire(12, 5) == 15
+        assert r.total_queue_delay == 3
+
+    def test_idle_gap(self):
+        r = Resource("r")
+        r.acquire(10, 5)
+        assert r.acquire(100, 5) == 100
+
+    def test_queue_delay_query(self):
+        r = Resource("r")
+        r.acquire(10, 5)
+        assert r.queue_delay(12) == 3
+        assert r.queue_delay(20) == 0
+
+    def test_utilization(self):
+        r = Resource("r")
+        r.acquire(0, 10)
+        assert r.utilization(100) == 0.1
+
+    def test_reset(self):
+        r = Resource("r")
+        r.acquire(0, 10)
+        r.reset()
+        assert r.busy_until == 0 and r.total_busy == 0

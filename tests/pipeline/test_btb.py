@@ -1,0 +1,72 @@
+"""Branch target buffer behaviour."""
+
+import pytest
+
+from repro.pipeline.btb import BranchTargetBuffer
+
+
+class TestPrediction:
+    def test_cold_predicts_not_taken(self):
+        btb = BranchTargetBuffer(16)
+        assert btb.predict(0x100) is None
+
+    def test_taken_branch_installed(self):
+        btb = BranchTargetBuffer(16)
+        assert not btb.resolve(0x100, None, actual_target=50,
+                               fallthrough=10)   # mispredict, installs
+        assert btb.predict(0x100) == 50
+
+    def test_correct_prediction_counts(self):
+        btb = BranchTargetBuffer(16)
+        btb.resolve(0x100, None, 50, 10)
+        predicted = btb.predict(0x100)
+        assert btb.resolve(0x100, predicted, 50, 10)
+        assert btb.mispredicts == 1   # only the cold one
+
+    def test_not_taken_with_entry_is_mispredict_and_evicts(self):
+        btb = BranchTargetBuffer(16)
+        btb.resolve(0x100, None, 50, 10)
+        predicted = btb.predict(0x100)
+        assert predicted == 50
+        assert not btb.resolve(0x100, predicted, actual_target=10,
+                               fallthrough=10)
+        assert btb.predict(0x100) is None
+
+    def test_not_taken_cold_is_correct(self):
+        btb = BranchTargetBuffer(16)
+        assert btb.resolve(0x100, None, actual_target=10, fallthrough=10)
+
+    def test_target_change_detected(self):
+        btb = BranchTargetBuffer(16)
+        btb.resolve(0x100, None, 50, 10)
+        predicted = btb.predict(0x100)
+        assert not btb.resolve(0x100, predicted, actual_target=60,
+                               fallthrough=10)
+        assert btb.predict(0x100) == 60
+
+
+class TestIndexing:
+    def test_aliasing_entries_conflict(self):
+        btb = BranchTargetBuffer(16)
+        btb.resolve(0x100, None, 50, 10)
+        alias = 0x100 + 16 * 4          # same index, different tag
+        assert btb.predict(alias) is None
+        btb.resolve(alias, None, 70, 10)
+        assert btb.predict(0x100) is None   # evicted by the alias
+
+    def test_power_of_two_required(self):
+        with pytest.raises(ValueError):
+            BranchTargetBuffer(1000)
+
+    def test_flush(self):
+        btb = BranchTargetBuffer(16)
+        btb.resolve(0x100, None, 50, 10)
+        btb.flush()
+        assert btb.predict(0x100) is None
+
+    def test_accuracy_statistic(self):
+        btb = BranchTargetBuffer(16)
+        assert btb.accuracy == 1.0
+        btb.predict(0x100)
+        btb.resolve(0x100, None, 50, 10)
+        assert btb.accuracy == 0.0

@@ -1,0 +1,135 @@
+"""Behavioural PC-unit models (paper Figures 10-12)."""
+
+from repro.pipeline.pcunit import (
+    SingleContextPCUnit,
+    BlockedPCUnit,
+    InterleavedPCUnit,
+    WORD,
+)
+
+
+class TestSingleContextPCUnit:
+    def test_sequential_flow(self):
+        pcu = SingleContextPCUnit(reset_pc=0x100)
+        assert pcu.step_sequential() == 0x104
+        assert pcu.step_sequential() == 0x108
+
+    def test_predicted_branch_redirects(self):
+        pcu = SingleContextPCUnit(0x100)
+        assert pcu.predicted_branch(0x200) == 0x200
+        assert pcu.step_sequential() == 0x204
+
+    def test_exception_and_eret(self):
+        pcu = SingleContextPCUnit(0x100)
+        pcu.retire(0x100)
+        assert pcu.take_exception(0x80, guilty_pc=0x104) == 0x80
+        # Handler runs; retires must not clobber the saved EPC.
+        pcu.retire(0x80)
+        assert pcu.eret() == 0x104
+
+    def test_computed_branch(self):
+        pcu = SingleContextPCUnit(0x100)
+        assert pcu.computed_branch(0x300) == 0x300
+
+
+class TestBlockedPCUnit:
+    def test_context_switch_saves_and_restores(self):
+        pcu = BlockedPCUnit(2, reset_pcs=[0x100, 0x500])
+        pcu.step_sequential()                 # ctx0 at 0x104
+        # ctx0 misses at 0x108: switch, restart ctx1 at its reset PC.
+        assert pcu.context_switch(1, restart_pc=0x108) == 0x500
+        pcu.step_sequential()                 # ctx1 at 0x504
+        # Switch back: ctx0 resumes at the instruction that missed.
+        assert pcu.context_switch(0, restart_pc=0x504) == 0x108
+
+    def test_epc_shared_with_exceptions(self):
+        pcu = BlockedPCUnit(2, reset_pcs=[0x100, 0x500])
+        pcu.retire(0x100)
+        assert pcu.take_exception(0x80, guilty_pc=0x104) == 0x80
+        assert pcu.eret() == 0x104
+
+    def test_active_epc_tracks_retirement(self):
+        pcu = BlockedPCUnit(2, reset_pcs=[0x100, 0x500])
+        pcu.retire(0x100)
+        pcu.retire(0x104)
+        assert pcu.epcs[0] == 0x104
+        assert pcu.epcs[1] == 0x500          # idle context untouched
+
+
+class TestInterleavedPCUnit:
+    def test_round_robin_issue(self):
+        pcu = InterleavedPCUnit(2, reset_pcs=[0x100, 0x500])
+        assert pcu.issue(0) == 0x100
+        assert pcu.issue(1) == 0x500
+        assert pcu.issue(0) == 0x104
+        assert pcu.issue(1) == 0x504
+
+    def test_predicted_branch_loads_npc(self):
+        pcu = InterleavedPCUnit(2, reset_pcs=[0x100, 0x500])
+        pcu.issue(0)
+        pcu.load_predicted(0, 0x200)
+        pcu.issue(1)
+        assert pcu.issue(0) == 0x200
+
+    def test_mispredict_priority_over_predicted(self):
+        # "The computed branch has priority over all other sources."
+        pcu = InterleavedPCUnit(2, reset_pcs=[0x100, 0x500])
+        pcu.issue(0)
+        pcu.mispredict(0, 0x300)
+        pcu.load_predicted(0, 0x200)    # must not overwrite the computed
+        assert pcu.issue(0) == 0x300
+
+    def test_mispredict_sets_btb_update_on_drive(self):
+        pcu = InterleavedPCUnit(2, reset_pcs=[0x100, 0x500])
+        pcu.issue(0)
+        pcu.mispredict(0, 0x300)
+        assert pcu.btb_updates == []
+        pcu.issue(0)
+        assert pcu.btb_updates == [(0, 0x300)]
+
+    def test_mispredict_squashes_by_cid(self):
+        pcu = InterleavedPCUnit(2, reset_pcs=[0x100, 0x500])
+        pcu.issue(0)
+        pcu.mispredict(0, 0x300)
+        assert pcu.squashes == [0]
+
+    def test_unavailable_and_restart(self):
+        pcu = InterleavedPCUnit(2, reset_pcs=[0x100, 0x500])
+        pcu.issue(0)                      # 0x100: the missing load
+        pcu.issue(1)
+        pcu.make_unavailable(0, miss_pc=0x100)
+        assert 0 in pcu.squashes
+        # When available again, the EPC drives the bus: re-execute the
+        # instruction that caused the miss.
+        assert pcu.issue(0) == 0x100
+        assert pcu.issue(0) == 0x104      # then sequential flow resumes
+
+    def test_context_pcs_inspection(self):
+        pcu = InterleavedPCUnit(2, reset_pcs=[0x100, 0x500])
+        pcu.issue(0)
+        assert pcu.context_pcs() == [0x104, 0x500]
+        pcu.make_unavailable(0, miss_pc=0x100)
+        assert pcu.context_pcs()[0] == 0x100
+
+    def test_single_cycle_mispredict_case(self):
+        """Resolution before the predicted target issues costs 1 cycle.
+
+        Section 6.3: "the determination of the mispredicted branch can
+        actually occur before the predicted branch address has been
+        issued ... the branch will only cost a single cycle."
+        """
+        pcu = InterleavedPCUnit(4, reset_pcs=[0x100, 0x500, 0x900, 0xD00])
+        pcu.issue(0)                    # branch issues
+        pcu.load_predicted(0, 0x200)    # BTB predicted (wrongly)
+        pcu.issue(1)
+        pcu.issue(2)
+        # Branch resolves before context 0's next slot: no wrong-path
+        # instruction from context 0 ever issued, so nothing to squash
+        # but the redirect itself.
+        pcu.mispredict(0, 0x300)
+        pcu.issue(3)
+        assert pcu.issue(0) == 0x300
+
+
+def test_word_constant():
+    assert WORD == 4

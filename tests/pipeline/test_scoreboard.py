@@ -1,0 +1,110 @@
+"""Scoreboard hazard detection (Table 3 issue-to-issue distances)."""
+
+from repro.isa.opcodes import Op
+from repro.isa.instruction import Instruction
+from repro.pipeline.scoreboard import Scoreboard
+
+
+def I(op, **kw):
+    return Instruction(op, **kw)
+
+
+class TestRegisterHazards:
+    def test_alu_back_to_back_no_stall(self):
+        sb = Scoreboard(1)
+        sb.issue(0, I(Op.ADD, rd=8, rs1=9, rs2=10), 0)
+        until, kind = sb.hazard_until(0, I(Op.ADD, rd=11, rs1=8, rs2=9), 1)
+        assert until == 1 and kind is None
+
+    def test_load_two_delay_slots(self):
+        sb = Scoreboard(1)
+        sb.issue(0, I(Op.LW, rd=8, rs1=9), 0)
+        until, kind = sb.hazard_until(0, I(Op.ADD, rd=11, rs1=8, rs2=9), 1)
+        assert until == 3 and kind == "data"
+
+    def test_fp_add_five_cycle_distance(self):
+        sb = Scoreboard(1)
+        sb.issue(0, I(Op.FADD, rd=33, rs1=34, rs2=35), 0)
+        until, _ = sb.hazard_until(0, I(Op.FMUL, rd=36, rs1=33, rs2=34), 1)
+        assert until == 5
+
+    def test_fdiv_sixty_one_cycles(self):
+        sb = Scoreboard(1)
+        sb.issue(0, I(Op.FDIV, rd=33, rs1=34, rs2=35), 0)
+        until, _ = sb.hazard_until(0, I(Op.FADD, rd=36, rs1=33, rs2=34), 1)
+        assert until == 61
+
+    def test_independent_instruction_unblocked(self):
+        sb = Scoreboard(1)
+        sb.issue(0, I(Op.FDIV, rd=33, rs1=34, rs2=35), 0)
+        until, kind = sb.hazard_until(0, I(Op.ADD, rd=8, rs1=9, rs2=10), 1)
+        assert until == 1 and kind is None
+
+    def test_output_dependency_orders_writes(self):
+        sb = Scoreboard(1)
+        sb.issue(0, I(Op.FDIV, rd=33, rs1=34, rs2=35), 0)   # ready at 61
+        # A 5-cycle op writing f1 must not complete before the divide.
+        until, kind = sb.hazard_until(0, I(Op.FADD, rd=33, rs1=34,
+                                           rs2=35), 1)
+        assert until == 61 - 5
+        assert kind == "data"
+
+    def test_r0_not_tracked(self):
+        sb = Scoreboard(1)
+        sb.issue(0, I(Op.LW, rd=0, rs1=9), 0)   # writes discarded
+        until, _ = sb.hazard_until(0, I(Op.ADD, rd=8, rs1=0, rs2=0), 1)
+        assert until == 1
+
+
+class TestStructuralHazards:
+    def test_fdiv_unit_not_pipelined(self):
+        sb = Scoreboard(2)
+        sb.issue(0, I(Op.FDIV, rd=33, rs1=34, rs2=35), 0)
+        # A *different context's* divide stalls on the shared unit.
+        until, kind = sb.hazard_until(1, I(Op.FDIV, rd=33, rs1=34,
+                                           rs2=35), 1)
+        assert until == 61 and kind == "structural"
+
+    def test_muldiv_unit_shared(self):
+        sb = Scoreboard(2)
+        sb.issue(0, I(Op.DIV, rd=8, rs1=9, rs2=10), 0)
+        until, kind = sb.hazard_until(1, I(Op.MUL, rd=8, rs1=9, rs2=10), 1)
+        assert until == 35 and kind == "structural"
+
+    def test_fpadd_pipelined(self):
+        sb = Scoreboard(2)
+        sb.issue(0, I(Op.FADD, rd=33, rs1=34, rs2=35), 0)
+        until, _ = sb.hazard_until(1, I(Op.FADD, rd=33, rs1=34, rs2=35), 1)
+        assert until == 1
+
+
+class TestContextIsolation:
+    def test_contexts_have_independent_registers(self):
+        sb = Scoreboard(2)
+        sb.issue(0, I(Op.LW, rd=8, rs1=9), 0)
+        until, _ = sb.hazard_until(1, I(Op.ADD, rd=11, rs1=8, rs2=9), 1)
+        assert until == 1   # context 1's t0 is not context 0's t0
+
+    def test_memory_flag_reported(self):
+        sb = Scoreboard(1)
+        sb.issue(0, I(Op.LW, rd=8, rs1=9), 0)
+        sb.set_ready(0, 8, 40, memory=True)
+        until, kind = sb.hazard_until(0, I(Op.ADD, rd=11, rs1=8,
+                                           rs2=9), 1)
+        assert until == 40 and kind == "memory"
+
+    def test_clear_context(self):
+        sb = Scoreboard(1)
+        sb.issue(0, I(Op.FDIV, rd=33, rs1=34, rs2=35), 0)
+        sb.clear_context(0)
+        until, _ = sb.hazard_until(0, I(Op.FADD, rd=36, rs1=33,
+                                        rs2=34), 1)
+        assert until == 1
+
+    def test_normal_write_clears_memory_flag(self):
+        sb = Scoreboard(1)
+        sb.set_ready(0, 8, 100, memory=True)
+        sb.issue(0, I(Op.ADDI, rd=8, rs1=9), 200)
+        until, kind = sb.hazard_until(0, I(Op.ADD, rd=11, rs1=8,
+                                           rs2=9), 201)
+        assert kind is None

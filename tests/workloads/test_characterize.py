@@ -1,0 +1,98 @@
+"""Measured workload characteristics must match DESIGN.md's claims.
+
+This is the substitution-validation suite: each Spec89 stand-in is
+claimed to stress a particular resource, and these tests hold the
+kernels to it by *measuring* dynamic behaviour.
+"""
+
+import pytest
+
+from repro.workloads.characterize import (
+    profile_kernel, profile_program, characterization_table,
+)
+from repro.workloads.kernels import KERNELS
+
+
+@pytest.fixture(scope="module")
+def profiles():
+    return {name: profile_kernel(name) for name in KERNELS}
+
+
+class TestProfileMechanics:
+    def test_counts_add_up(self, profiles):
+        p = profiles["mxm"]
+        assert p.loads + p.stores <= p.instructions
+        assert p.taken_branches <= p.branches
+
+    def test_footprint_measured(self, profiles):
+        p = profiles["mxm"]
+        assert p.data_words > 0
+        assert p.data_pages >= 1
+        assert p.code_words > 10
+
+    def test_profile_program_direct(self):
+        from repro.isa import assemble
+        prog = assemble("li t0, 5\nhalt", data_base=0x1000)
+        p = profile_program(prog)
+        assert p.instructions == 2
+
+
+class TestICStressClaims:
+    """IC workload members: large code footprints / branchy."""
+
+    def test_doduc_code_exceeds_fast_icache(self):
+        # fast profile: 8 KB I-cache = 2048 instructions
+        p = profile_kernel("doduc", scale=1.0)
+        assert p.code_words > 2048
+
+    def test_li_and_eqntott_are_branchy(self, profiles):
+        assert profiles["li"].branch_fraction > 0.10
+        assert profiles["eqntott"].branch_fraction > 0.10
+
+    def test_li_chases_pointers(self, profiles):
+        # Loads feeding the next address: load-heavy integer code.
+        p = profiles["li"]
+        assert p.loads > 0 and p.fp_ops == 0
+
+
+class TestDCStressClaims:
+    """DC workload members: streaming data footprints."""
+
+    @pytest.mark.parametrize("name", ["cfft2d", "gmtry", "tomcatv",
+                                      "vpenta"])
+    def test_memory_intensive(self, profiles, name):
+        assert profiles[name].memory_fraction > 0.20, name
+
+    def test_dc_members_have_large_footprints(self):
+        for name in ("cfft2d", "gmtry", "tomcatv", "vpenta"):
+            p = profile_kernel(name, scale=1.0)
+            assert 4 * p.data_words > 8 * 1024, name   # beyond fast L1
+
+
+class TestDTStressClaims:
+    def test_btrix_touches_more_pages_than_tlb(self):
+        p = profile_kernel("btrix", scale=1.0)
+        assert p.data_pages > 16       # fast-profile TLB entries
+
+
+class TestFPStressClaims:
+    @pytest.mark.parametrize("name", ["emit", "cholsky", "vpenta",
+                                      "tomcatv"])
+    def test_divide_density(self, profiles, name):
+        assert profiles[name].divides_per_kinst > 5, name
+
+    def test_backoff_hints_accompany_divides(self, profiles):
+        for name in ("emit", "cholsky", "gmtry", "vpenta", "tomcatv"):
+            p = profiles[name]
+            assert p.backoffs == p.fp_divides, name
+
+    def test_fp_members_are_fp_heavy(self, profiles):
+        assert profiles["emit"].fp_fraction > 0.25
+        assert profiles["matrix300"].fp_fraction > 0.18
+
+
+class TestRendering:
+    def test_table_renders_all_kernels(self):
+        text = characterization_table()
+        for name in KERNELS:
+            assert name in text

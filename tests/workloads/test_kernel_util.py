@@ -1,0 +1,69 @@
+"""Kernel-builder helpers (loops, data patterns, scaling)."""
+
+import pytest
+
+from repro.isa import AsmBuilder
+from repro.isa.executor import run_functional, ExecutionError
+from repro.workloads.kernels.util import (
+    Loop, OuterLoop, scaled, fpattern, ipattern,
+)
+
+
+class TestLoop:
+    def test_executes_count_times(self):
+        b = AsmBuilder("t")
+        with Loop(b, "t5", 7):
+            b.addi("t0", "t0", 1)
+        b.halt()
+        state, _ = run_functional(b.build())
+        assert state.regs[8] == 7
+
+    def test_nested_loops(self):
+        b = AsmBuilder("t")
+        with Loop(b, "t5", 3):
+            with Loop(b, "t6", 4):
+                b.addi("t0", "t0", 1)
+        b.halt()
+        state, _ = run_functional(b.build())
+        assert state.regs[8] == 12
+
+
+class TestOuterLoop:
+    def test_finite_iterations(self):
+        b = AsmBuilder("t")
+        with OuterLoop(b, iterations=5):
+            b.addi("t0", "t0", 1)
+        state, _ = run_functional(b.build())
+        assert state.halted
+        assert state.regs[8] == 5
+
+    def test_infinite_never_halts(self):
+        b = AsmBuilder("t")
+        with OuterLoop(b, iterations=None):
+            b.addi("t0", "t0", 1)
+        with pytest.raises(ExecutionError):
+            run_functional(b.build(), max_steps=500)
+
+    def test_emits_trailing_halt(self):
+        b = AsmBuilder("t")
+        with OuterLoop(b, iterations=1):
+            b.nop()
+        prog = b.build()
+        assert prog.instructions[-1].info.mnemonic == "halt"
+
+
+class TestPatterns:
+    def test_fpattern_values(self):
+        assert fpattern(4, 3, 7) == [0.0, 3.0, 6.0, 1.0]
+        assert all(isinstance(v, float) for v in fpattern(8, 5, 15))
+
+    def test_ipattern_values(self):
+        assert ipattern(4, 3, 7) == [0, 3, 6, 1]
+
+    def test_scaled_bounds(self):
+        assert scaled(20, 1.0) == 20
+        assert scaled(20, 0.1, minimum=4) == 4
+        assert scaled(20, 2.0) == 40
+
+    def test_scaled_even(self):
+        assert scaled(21, 1.0) % 2 == 0

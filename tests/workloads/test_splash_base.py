@@ -1,0 +1,85 @@
+"""SharedLayout and thread-partitioning helpers."""
+
+import pytest
+
+from repro.isa.executor import Memory
+from repro.workloads.splash.base import (
+    SharedLayout, AppInstance, chunk_bounds, thread_builder,
+)
+
+
+class TestSharedLayout:
+    def test_interleave_is_line_aligned(self):
+        layout = SharedLayout(base=0x8000000)
+        a = layout.alloc("a", 3)
+        b = layout.alloc("b", 3)
+        assert a % 32 == 0 and b % 32 == 0
+        assert b >= a + 12
+
+    def test_node_placement_is_page_aligned(self):
+        layout = SharedLayout(base=0x8000000)
+        layout.alloc("a", 3)
+        pinned = layout.alloc("p", 10, placement=2)
+        assert pinned % 4096 == 0
+        assert (pinned, 10, 2) in layout.placement
+
+    def test_init_length_checked(self):
+        layout = SharedLayout()
+        with pytest.raises(ValueError):
+            layout.alloc("x", 4, init=[1, 2])
+
+    def test_load_writes_inits_only(self):
+        layout = SharedLayout(base=0x8000000)
+        a = layout.alloc("a", 2, init=[7, 8])
+        layout.alloc("b", 2)            # uninitialised
+        mem = Memory()
+        layout.load(mem)
+        assert mem.read(a) == 7
+        assert mem.read(a + 4) == 8
+
+    def test_symbols_recorded(self):
+        layout = SharedLayout()
+        addr = layout.alloc("thing", 4)
+        assert layout.symbols["thing"] == addr
+
+
+class TestChunkBounds:
+    def test_even_split(self):
+        assert chunk_bounds(8, 4, 0) == (0, 2)
+        assert chunk_bounds(8, 4, 3) == (6, 8)
+
+    def test_remainder_spread_to_early_threads(self):
+        bounds = [chunk_bounds(10, 4, t) for t in range(4)]
+        sizes = [hi - lo for lo, hi in bounds]
+        assert sizes == [3, 3, 2, 2]
+        assert bounds[0][0] == 0 and bounds[-1][1] == 10
+
+    def test_covers_everything_without_overlap(self):
+        for total, threads in ((7, 3), (64, 8), (5, 5), (3, 7)):
+            prev_end = 0
+            for t in range(threads):
+                lo, hi = chunk_bounds(total, threads, t)
+                assert lo == prev_end
+                prev_end = hi
+            assert prev_end == total
+
+
+class TestThreadBuilder:
+    def test_distinct_staggered_bases(self):
+        b0 = thread_builder("app", 0)
+        b1 = thread_builder("app", 1)
+        assert b0.code_base != b1.code_base
+        # Not a multiple of the 8 KB fast-profile cache span.
+        assert (b1.code_base - b0.code_base) % 8192 != 0
+
+    def test_app_instance_accessors(self):
+        layout = SharedLayout()
+        layout.alloc("x", 2, init=[1, 2])
+        b = thread_builder("app", 0)
+        b.halt()
+        app = AppInstance("app", [b.build()], layout, barriers={1: 1})
+        assert app.n_threads == 1
+        assert app.placement == layout.placement
+        mem = Memory()
+        app.load(mem)
+        assert mem.read(layout.symbols["x"]) == 1

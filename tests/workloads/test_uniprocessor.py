@@ -1,0 +1,74 @@
+"""Table 5 workload composition and address-space layout."""
+
+import pytest
+
+from repro.workloads.uniprocessor import (
+    WORKLOADS, WORKLOAD_ORDER, build_workload, build_process,
+)
+
+
+class TestTable5Composition:
+    def test_order_covers_all(self):
+        assert set(WORKLOAD_ORDER) == set(WORKLOADS)
+
+    def test_each_workload_has_four_members(self):
+        for members in WORKLOADS.values():
+            assert len(members) == 4
+
+    def test_paper_membership(self):
+        assert WORKLOADS["IC"] == ("doduc", "li", "eqntott", "mxm")
+        assert WORKLOADS["DC"] == ("cfft2d", "gmtry", "tomcatv", "vpenta")
+        assert WORKLOADS["SP"] == ("mp3d", "water", "locus", "barnes")
+
+    def test_unknown_workload(self):
+        with pytest.raises(KeyError):
+            build_workload("XX")
+
+
+class TestBuildWorkload:
+    @pytest.mark.parametrize("name", WORKLOAD_ORDER)
+    def test_builds(self, name):
+        processes, instances, barriers = build_workload(name, scale=0.25)
+        assert len(processes) == 4
+        if name == "SP":
+            assert len(instances) == 4
+            assert len(barriers) == 4
+        else:
+            assert instances == [] and barriers == {}
+
+    def test_disjoint_address_spaces(self):
+        processes, _, _ = build_workload("DC", scale=0.25)
+        regions = []
+        for p in processes:
+            base = p.program.data.base
+            regions.append((base, base + p.program.data.size_bytes))
+            regions.append((p.program.code_base,
+                            p.program.code_base + 4 * len(p.program)))
+        regions.sort()
+        for (s1, e1), (s2, e2) in zip(regions, regions[1:]):
+            assert e1 <= s2, "overlapping regions"
+
+    def test_cache_sets_decorrelated(self):
+        """Identical layouts must not map onto identical L1 indices."""
+        processes, _, _ = build_workload("DC", scale=0.25)
+        l1_sets = 8 * 1024      # fast-profile L1 span
+        offsets = {p.program.data.base % l1_sets for p in processes}
+        assert len(offsets) == len(processes)
+        code_offsets = {p.program.code_base % l1_sets for p in processes}
+        assert len(code_offsets) == len(processes)
+
+
+class TestBuildProcess:
+    def test_spec_kernel(self):
+        process, extra = build_process("mxm", index=2, scale=0.25)
+        assert extra is None
+        assert process.name.startswith("mxm")
+
+    def test_splash_kernel_returns_instance(self):
+        process, extra = build_process("water", index=1, scale=0.25)
+        assert extra is not None
+        assert extra.barriers
+
+    def test_unknown_kernel(self):
+        with pytest.raises(KeyError):
+            build_process("nonesuch")
