@@ -22,7 +22,37 @@ the sources the paper cites and are marked ``# reconstructed``:
   ~100–130 cycles, dirty-remote ~130–160, local ~30–40.
 """
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import dataclass, field, fields, is_dataclass, replace
+
+
+def to_canonical(obj):
+    """A JSON-serialisable canonical form of a (nested) config object.
+
+    Dataclasses become field-name dictionaries, mapping keys become
+    strings (JSON objects cannot key on ints), and tuples become lists;
+    the result round-trips through ``json.dumps(..., sort_keys=True)``
+    to a stable byte string suitable for hashing.
+    """
+    if is_dataclass(obj) and not isinstance(obj, type):
+        return {f.name: to_canonical(getattr(obj, f.name))
+                for f in fields(obj)}
+    if isinstance(obj, dict):
+        return {str(k): to_canonical(obj[k])
+                for k in sorted(obj, key=str)}
+    if isinstance(obj, (list, tuple)):
+        return [to_canonical(v) for v in obj]
+    if isinstance(obj, (str, int, float, bool)) or obj is None:
+        return obj
+    raise TypeError("cannot canonicalise %r" % type(obj))
+
+
+def fingerprint(obj):
+    """A stable content hash of any config object (see to_canonical)."""
+    payload = json.dumps(to_canonical(obj), sort_keys=True,
+                         separators=(",", ":"))
+    return hashlib.sha256(payload.encode()).hexdigest()
 
 
 @dataclass(frozen=True)
@@ -143,6 +173,13 @@ class MultiprocessorParams:
     lock_transfer_latency: int = 20       # lock handoff when contended
     barrier_release_latency: int = 20
 
+    def to_dict(self):
+        """JSON-serialisable form (cache keys, result export)."""
+        return to_canonical(self)
+
+    def fingerprint(self):
+        return fingerprint(self)
+
 
 @dataclass(frozen=True)
 class SystemConfig:
@@ -190,6 +227,13 @@ class SystemConfig:
 
     def with_pipeline(self, **kwargs):
         return replace(self, pipeline=replace(self.pipeline, **kwargs))
+
+    def to_dict(self):
+        """JSON-serialisable form (cache keys, result export)."""
+        return to_canonical(self)
+
+    def fingerprint(self):
+        return fingerprint(self)
 
 
 #: Context-selection schemes (Section 2 and 3 of the paper).

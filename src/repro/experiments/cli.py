@@ -2,12 +2,19 @@
 
 Usage::
 
-    interleaving-experiments figure3
-    interleaving-experiments table7
-    interleaving-experiments all
+    repro-experiments figure3
+    repro-experiments table7
+    repro-experiments all
+    repro-experiments sweep --jobs 4          # parallel, cached
+    repro-experiments cache stats
+    repro-experiments cache clear
+
+(``interleaving-experiments`` is the historical alias of the same
+entry point.)
 """
 
 import argparse
+import os
 import sys
 import time
 
@@ -24,24 +31,29 @@ from repro.experiments import (
 from repro.experiments.runner import ExperimentContext
 
 
-def _uniproc(ctx):
-    print(table7.render(table7.run(ctx)))
+def _uniproc(ctx, workloads=None):
+    from repro.workloads.uniprocessor import WORKLOAD_ORDER
+    workloads = tuple(workloads) if workloads else WORKLOAD_ORDER
+    print(table7.render(table7.run(ctx, workloads=workloads),
+                        workloads=workloads))
     print()
-    print(figures6_7.render(figures6_7.run(ctx, scheme="blocked"),
-                            scheme="blocked"))
-    print()
-    print(figures6_7.render(figures6_7.run(ctx, scheme="interleaved"),
-                            scheme="interleaved"))
+    for scheme in ("blocked", "interleaved"):
+        print(figures6_7.render(
+            figures6_7.run(ctx, scheme=scheme, workloads=workloads),
+            scheme=scheme, workloads=workloads))
+        print()
 
 
-def _mp(ctx):
-    print(table10.render(table10.run(ctx)))
+def _mp(ctx, apps=None):
+    from repro.workloads.splash import SPLASH_ORDER
+    apps = tuple(apps) if apps else SPLASH_ORDER
+    print(table10.render(table10.run(ctx, apps=apps), apps=apps))
     print()
-    print(figures8_9.render(figures8_9.run(ctx, scheme="blocked"),
-                            scheme="blocked"))
-    print()
-    print(figures8_9.render(figures8_9.run(ctx, scheme="interleaved"),
-                            scheme="interleaved"))
+    for scheme in ("blocked", "interleaved"):
+        print(figures8_9.render(
+            figures8_9.run(ctx, scheme=scheme, apps=apps),
+            scheme=scheme, apps=apps))
+        print()
 
 
 def _summary(ctx):
@@ -52,7 +64,9 @@ def _summary(ctx):
 def _analyze(ctx):
     """Deep-dive analysis of a representative run of each environment."""
     from repro.experiments import analysis
-    run = ctx.uniproc_run("DC", "interleaved", 4)
+    # Analysis inspects the simulator's end state, which the on-disk
+    # cache does not persist; force a live simulation if necessary.
+    run = ctx.uniproc_run("DC", "interleaved", 4, need_simulator=True)
     print(analysis.render_workstation(
         analysis.analyze_workstation(run.simulator, run.result)))
     print()
@@ -75,6 +89,59 @@ def _export(ctx):
     table10.run(ctx)
     path = export.write_json("results.json", export.context_to_dict(ctx))
     print("wrote %s" % path)
+
+
+def _render_everything(ctx, workloads=None, apps=None):
+    """Render every table and figure from an (ideally pre-warmed) ctx."""
+    for name in ("configs", "figure2", "figure3", "table4"):
+        EXPERIMENTS[name](ctx)
+        print()
+    _uniproc(ctx, workloads=workloads)
+    print()
+    _mp(ctx, apps=apps)
+
+
+def _sweep(ctx, args):
+    """Compute every figure/table point in parallel, then render."""
+    from repro.experiments import sweep
+    from repro.workloads.uniprocessor import WORKLOADS
+    from repro.workloads.splash import SPLASH_APPS
+    workloads = args.workloads.split(",") if args.workloads else None
+    apps = args.apps.split(",") if args.apps else None
+    unknown = ([w for w in workloads or () if w not in WORKLOADS]
+               + [a for a in apps or () if a not in SPLASH_APPS])
+    if unknown:
+        sys.exit("error: unknown workload/app name(s): %s (workloads: "
+                 "%s; apps: %s)" % (", ".join(unknown),
+                                    ", ".join(sorted(WORKLOADS)),
+                                    ", ".join(sorted(SPLASH_APPS))))
+    engine = sweep.SweepEngine(
+        ctx, jobs=args.jobs,
+        progress=lambda msg: print(msg, file=sys.stderr))
+    report = engine.run(sweep.default_points(workloads=workloads,
+                                             apps=apps))
+    print("sweep: %s" % report.summary(), file=sys.stderr)
+    if ctx.cache is not None:
+        print("cache: %r" % (ctx.cache.session_stats(),), file=sys.stderr)
+    _render_everything(ctx, workloads=workloads, apps=apps)
+    return report
+
+
+def _cache_admin(args):
+    from repro.experiments.cache import ResultCache
+    cache = ResultCache(args.cache_dir)
+    action = args.action or "stats"
+    if action == "clear":
+        removed = cache.clear()
+        print("cleared %d cache entries under %s" % (removed, cache.root))
+    else:
+        stats = cache.disk_stats()
+        print("cache directory : %s" % stats["root"])
+        print("entries         : %d" % stats["entries"])
+        print("size            : %.1f KiB" % (stats["bytes"] / 1024.0))
+        for kind in sorted(stats["by_kind"]):
+            print("  %-10s : %d" % (kind, stats["by_kind"][kind]))
+    return 0
 
 
 EXPERIMENTS = {
@@ -101,11 +168,20 @@ EXPERIMENTS = {
 
 
 def main(argv=None):
+    from repro.experiments.cache import ResultCache, default_cache_dir
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's tables and figures.")
     parser.add_argument("experiment",
-                        choices=sorted(EXPERIMENTS) + ["all"],
-                        help="which table/figure to regenerate")
+                        choices=sorted(EXPERIMENTS) + ["all", "sweep",
+                                                       "cache"],
+                        help="which table/figure to regenerate; 'sweep' "
+                             "computes every point in parallel through "
+                             "the on-disk cache and renders everything; "
+                             "'cache' administers the cache")
+    parser.add_argument("action", nargs="?", default=None,
+                        choices=("stats", "clear"),
+                        help="for the 'cache' verb: stats (default) or "
+                             "clear")
     parser.add_argument("--profile", choices=("fast", "paper"),
                         default="fast",
                         help="machine profile (paper = full-size caches; "
@@ -117,7 +193,28 @@ def main(argv=None):
     parser.add_argument("--warmup", type=int, default=None,
                         help="uniprocessor warmup, cycles")
     parser.add_argument("--seed", type=int, default=1994)
+    parser.add_argument("--jobs", type=int,
+                        default=os.cpu_count() or 1,
+                        help="worker processes for 'sweep' (default: all "
+                             "cores; 1 = serial)")
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated uniprocessor workload "
+                             "subset for 'sweep' (default: all)")
+    parser.add_argument("--apps", default=None,
+                        help="comma-separated SPLASH app subset for "
+                             "'sweep' (default: all)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--cache-dir", default=None,
+                        help="result cache directory (default $%s or %r); "
+                             "passing this enables the cache for any verb"
+                             % ("REPRO_CACHE_DIR", default_cache_dir()))
     args = parser.parse_args(argv)
+
+    if args.experiment == "cache":
+        if args.cache_dir is None:
+            args.cache_dir = default_cache_dir()
+        return _cache_admin(args)
 
     from repro.config import SystemConfig, MultiprocessorParams
     config = (SystemConfig.paper() if args.profile == "paper"
@@ -129,15 +226,17 @@ def main(argv=None):
         kwargs["measure"] = args.measure
     if args.warmup is not None:
         kwargs["warmup"] = args.warmup
+    # The cache is on for 'sweep' unless --no-cache; other verbs opt in
+    # by passing --cache-dir (keeps single-figure runs side-effect free).
+    if not args.no_cache and (args.experiment == "sweep"
+                              or args.cache_dir is not None):
+        kwargs["cache"] = ResultCache(args.cache_dir)
     ctx = ExperimentContext(**kwargs)
     t0 = time.time()
-    if args.experiment == "all":
-        for name in ("configs", "figure2", "figure3", "table4"):
-            EXPERIMENTS[name](ctx)
-            print()
-        _uniproc(ctx)
-        print()
-        _mp(ctx)
+    if args.experiment == "sweep":
+        _sweep(ctx, args)
+    elif args.experiment == "all":
+        _render_everything(ctx)
     else:
         EXPERIMENTS[args.experiment](ctx)
     print("\n[%.1f s]" % (time.time() - t0), file=sys.stderr)

@@ -68,6 +68,17 @@ def context_to_dict(ctx):
     }
 
 
+def sweep_report_to_dict(report, **extra):
+    """A SweepReport plus arbitrary metadata, as one JSON-able dict.
+
+    Used by the CI benchmark smoke job to publish serial-vs-parallel
+    sweep timings (``BENCH_sweep.json``).
+    """
+    payload = report.to_dict()
+    payload.update(extra)
+    return payload
+
+
 def write_json(path, payload):
     """Serialise ``payload`` (any of the dicts above) to ``path``."""
     with open(path, "w") as fh:

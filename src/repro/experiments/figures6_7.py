@@ -13,6 +13,12 @@ from repro.experiments.report import render_stacked_bars
 CONTEXT_COUNTS = (1, 2, 4)
 
 
+def points(scheme="blocked", workloads=WORKLOAD_ORDER):
+    """Every simulation point this figure needs (sweep scheduling)."""
+    return [("uniproc", w, scheme if n > 1 else "single", n)
+            for w in workloads for n in CONTEXT_COUNTS]
+
+
 def run(ctx=None, scheme="blocked", workloads=WORKLOAD_ORDER):
     """Returns {workload: {n_contexts: {category: fraction}}}."""
     if ctx is None:

@@ -13,6 +13,13 @@ from repro.experiments.report import render_stacked_bars
 CONTEXT_COUNTS = (1, 2, 4, 8)
 
 
+def points(scheme="blocked", apps=SPLASH_ORDER,
+           context_counts=CONTEXT_COUNTS):
+    """Every simulation point this figure needs (sweep scheduling)."""
+    return [("mp", app, scheme if n > 1 else "single", n)
+            for app in apps for n in context_counts]
+
+
 def run(ctx=None, scheme="blocked", apps=SPLASH_ORDER,
         context_counts=CONTEXT_COUNTS):
     """{app: {n: (normalized_time, {category: fraction})}}."""

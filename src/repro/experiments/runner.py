@@ -2,7 +2,17 @@
 
 The tables and figures share underlying simulations (Table 7 and
 Figures 6/7 use the same uniprocessor runs; Table 10 and Figures 8/9 the
-same multiprocessor runs), so an :class:`ExperimentContext` memoises them.
+same multiprocessor runs), so an :class:`ExperimentContext` memoises them
+in process memory — and, when given a :class:`~repro.experiments.cache.
+ResultCache`, reads/writes a content-addressed on-disk cache so the same
+simulation is never computed twice across processes or invocations.
+
+The module-level ``compute_*`` functions are the *only* way a simulation
+point is ever produced: the serial context calls them directly and the
+parallel :class:`~repro.experiments.sweep.SweepEngine` calls them inside
+worker processes, so parallel results are bit-identical to serial ones
+by construction (each point is seeded independently from the context's
+seed; no state is shared between points).
 """
 
 from repro.config import SystemConfig, MultiprocessorParams
@@ -17,8 +27,55 @@ UNIPROC_MEASURE = 120_000
 MP_MAX_CYCLES = 20_000_000
 
 
+def compute_uniproc(workload, scheme, n_contexts, config, seed,
+                    warmup, measure):
+    """Measured run of a Table 5 workload; returns (RunResult, sim)."""
+    processes, instances, barriers = build_workload(
+        workload, scale=config.workload_scale)
+    sim = WorkstationSimulator(
+        processes, scheme=scheme, n_contexts=n_contexts,
+        config=config, seed=seed,
+        app_instances=instances, barriers=barriers)
+    result = sim.measure(measure, warmup=warmup)
+    return result, sim
+
+
+def compute_dedicated(kernel_name, config, seed, warmup, measure):
+    """Calibration run of one application alone; returns RunResult."""
+    process, instance = build_process(
+        kernel_name, index=0, scale=config.workload_scale)
+    instances = [instance] if instance is not None else []
+    barriers = instance.barriers if instance is not None else {}
+    sim = WorkstationSimulator(
+        [process], scheme="single", n_contexts=1,
+        config=config, seed=seed,
+        app_instances=instances, barriers=barriers)
+    return sim.measure(measure, warmup=warmup)
+
+
+def compute_mp(app_name, scheme, n_contexts, mp_params, seed,
+               max_cycles=MP_MAX_CYCLES):
+    """Run-to-completion of a SPLASH stand-in; returns MPResult."""
+    n_nodes = mp_params.n_nodes
+    app = build_app(app_name, n_threads=n_nodes * n_contexts,
+                    threads_per_node=n_contexts)
+    sim = MultiprocessorSimulator(
+        app, scheme=scheme, n_contexts=n_contexts,
+        params=mp_params, seed=seed)
+    return sim.run_to_completion(max_cycles)
+
+
+def dedicated_rate_of(result):
+    """Instructions/cycle of a dedicated calibration RunResult."""
+    return sum(result.per_process.values()) / result.duration
+
+
 class UniprocRun:
-    """One uniprocessor measurement plus its simulator's end state."""
+    """One uniprocessor measurement plus its simulator's end state.
+
+    ``simulator`` is None when the result was loaded from the on-disk
+    cache (only the measured numbers are persisted, not the machine).
+    """
 
     def __init__(self, result, simulator):
         self.result = result
@@ -26,34 +83,95 @@ class UniprocRun:
 
 
 class ExperimentContext:
-    """Runs and memoises the simulations behind the tables/figures."""
+    """Runs and memoises the simulations behind the tables/figures.
+
+    Lookup order for every point: in-process memo, then the on-disk
+    ``cache`` (if any), then an actual simulation (which populates
+    both).  ``sim_count`` counts actual simulations, so tests and the
+    sweep engine can assert that cache hits skip simulation.
+    """
 
     def __init__(self, config=None, mp_params=None, seed=1994,
-                 warmup=UNIPROC_WARMUP, measure=UNIPROC_MEASURE):
+                 warmup=UNIPROC_WARMUP, measure=UNIPROC_MEASURE,
+                 cache=None):
         self.config = config if config is not None else SystemConfig.fast()
         self.mp_params = (mp_params if mp_params is not None
                           else MultiprocessorParams())
         self.seed = seed
         self.warmup = warmup
         self.measure = measure
+        self.cache = cache
+        self.sim_count = 0
         self._uniproc = {}
         self._dedicated = {}
         self._mp = {}
 
+    # -- cache plumbing ------------------------------------------------------
+
+    def point_cache_key(self, kind, name, scheme="single", n_contexts=1):
+        """The on-disk cache key of one of this context's points."""
+        from repro.experiments import cache as cache_mod
+        if kind == "mp":
+            warmup, measure = 0, MP_MAX_CYCLES
+        else:
+            warmup, measure = self.warmup, self.measure
+        return cache_mod.point_key(
+            kind, name, scheme, n_contexts, self.config, self.mp_params,
+            self.seed, warmup, measure)
+
+    def _cache_get(self, kind, name, scheme, n_contexts):
+        if self.cache is None:
+            return None
+        return self.cache.get(
+            self.point_cache_key(kind, name, scheme, n_contexts), kind)
+
+    def _cache_put(self, kind, name, scheme, n_contexts, result):
+        if self.cache is None:
+            return
+        self.cache.put(
+            self.point_cache_key(kind, name, scheme, n_contexts), kind,
+            result, meta={"kind": kind, "name": name, "scheme": scheme,
+                          "n_contexts": n_contexts, "seed": self.seed})
+
+    def store_point(self, kind, name, scheme, n_contexts, result):
+        """Inject an externally computed result (sweep worker) into the
+        in-process memo, exactly as a cache load would."""
+        if kind == "uniproc":
+            self._uniproc[(name, scheme, n_contexts)] = UniprocRun(
+                result, None)
+        elif kind == "dedicated":
+            self._dedicated[name] = dedicated_rate_of(result)
+        elif kind == "mp":
+            self._mp[(name, scheme, n_contexts)] = result
+        else:
+            raise ValueError("unknown point kind %r" % kind)
+
     # -- uniprocessor ----------------------------------------------------------
 
-    def uniproc_run(self, workload, scheme, n_contexts):
-        """Measured run of a Table 5 workload; memoised."""
+    def uniproc_run(self, workload, scheme, n_contexts,
+                    need_simulator=False):
+        """Measured run of a Table 5 workload; memoised and cached.
+
+        Pass ``need_simulator=True`` to guarantee a live simulator on
+        the returned run (forces a simulation if the memoised result
+        came from the on-disk cache).
+        """
         key = (workload, scheme, n_contexts)
-        if key not in self._uniproc:
-            processes, instances, barriers = build_workload(
-                workload, scale=self.config.workload_scale)
-            sim = WorkstationSimulator(
-                processes, scheme=scheme, n_contexts=n_contexts,
-                config=self.config, seed=self.seed,
-                app_instances=instances, barriers=barriers)
-            result = sim.measure(self.measure, warmup=self.warmup)
-            self._uniproc[key] = UniprocRun(result, sim)
+        entry = self._uniproc.get(key)
+        if entry is not None and (entry.simulator is not None
+                                  or not need_simulator):
+            return entry
+        if not need_simulator:
+            cached = self._cache_get("uniproc", *key)
+            if cached is not None:
+                self._uniproc[key] = UniprocRun(cached, None)
+                return self._uniproc[key]
+        result, sim = compute_uniproc(
+            workload, scheme, n_contexts, self.config, self.seed,
+            self.warmup, self.measure)
+        self.sim_count += 1
+        self._cache_put("uniproc", workload, scheme, n_contexts, result)
+        self._uniproc[key] = UniprocRun(result, sim)
         return self._uniproc[key]
 
     def dedicated_rate(self, kernel_name):
@@ -64,17 +182,15 @@ class ExperimentContext:
         this is the dedicated-processor rate that normalisation needs.
         """
         if kernel_name not in self._dedicated:
-            process, instance = build_process(
-                kernel_name, index=0, scale=self.config.workload_scale)
-            instances = [instance] if instance is not None else []
-            barriers = instance.barriers if instance is not None else {}
-            sim = WorkstationSimulator(
-                [process], scheme="single", n_contexts=1,
-                config=self.config, seed=self.seed,
-                app_instances=instances, barriers=barriers)
-            result = sim.measure(self.measure, warmup=self.warmup)
-            rate = sum(result.per_process.values()) / result.duration
-            self._dedicated[kernel_name] = rate
+            result = self._cache_get("dedicated", kernel_name, "single", 1)
+            if result is None:
+                result = compute_dedicated(
+                    kernel_name, self.config, self.seed, self.warmup,
+                    self.measure)
+                self.sim_count += 1
+                self._cache_put("dedicated", kernel_name, "single", 1,
+                                result)
+            self._dedicated[kernel_name] = dedicated_rate_of(result)
         return self._dedicated[kernel_name]
 
     def normalized_throughput(self, workload, scheme, n_contexts):
@@ -101,16 +217,16 @@ class ExperimentContext:
     # -- multiprocessor ------------------------------------------------------------
 
     def mp_run(self, app_name, scheme, n_contexts):
-        """Run-to-completion of a SPLASH stand-in; memoised."""
+        """Run-to-completion of a SPLASH stand-in; memoised and cached."""
         key = (app_name, scheme, n_contexts)
         if key not in self._mp:
-            n_nodes = self.mp_params.n_nodes
-            app = build_app(app_name, n_threads=n_nodes * n_contexts,
-                            threads_per_node=n_contexts)
-            sim = MultiprocessorSimulator(
-                app, scheme=scheme, n_contexts=n_contexts,
-                params=self.mp_params, seed=self.seed)
-            self._mp[key] = sim.run_to_completion(MP_MAX_CYCLES)
+            result = self._cache_get("mp", *key)
+            if result is None:
+                result = compute_mp(app_name, scheme, n_contexts,
+                                    self.mp_params, self.seed)
+                self.sim_count += 1
+                self._cache_put("mp", app_name, scheme, n_contexts, result)
+            self._mp[key] = result
         return self._mp[key]
 
     def mp_speedup(self, app_name, scheme, n_contexts):

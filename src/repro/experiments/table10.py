@@ -19,6 +19,23 @@ CONFIGS = (("interleaved", 2), ("blocked", 2),
            ("interleaved", 8), ("blocked", 8))
 
 
+def points(apps=SPLASH_ORDER, configs=CONFIGS):
+    """Every simulation point this table needs (sweep scheduling).
+
+    ``mp_speedup`` reports the optimum over powers-of-two context
+    counts up to the maximum, so all intermediate counts are needed.
+    """
+    out = []
+    for app in apps:
+        out.append(("mp", app, "single", 1))
+        for scheme, n in configs:
+            c = 2
+            while c <= n:
+                out.append(("mp", app, scheme, c))
+                c *= 2
+    return out
+
+
 def run(ctx=None, apps=SPLASH_ORDER, configs=CONFIGS):
     """Returns {(scheme, n): {app: speedup}}."""
     if ctx is None:

@@ -18,6 +18,20 @@ CONFIGS = (("interleaved", 2), ("blocked", 2),
            ("interleaved", 4), ("blocked", 4))
 
 
+def points(workloads=WORKLOAD_ORDER):
+    """Every (kind, name, scheme, n_contexts) simulation this table
+    needs, for the sweep engine to schedule ahead of rendering."""
+    from repro.workloads.uniprocessor import WORKLOADS
+    out = []
+    for w in workloads:
+        out.append(("uniproc", w, "single", 1))
+        for scheme, n in CONFIGS:
+            out.append(("uniproc", w, scheme, n))
+        for kernel in WORKLOADS[w]:
+            out.append(("dedicated", kernel, "single", 1))
+    return out
+
+
 def run(ctx=None, workloads=WORKLOAD_ORDER):
     """Returns {(scheme, n): {workload: throughput ratio}}."""
     if ctx is None:

@@ -9,6 +9,7 @@ from repro.core.simulator import SimulationDeadlock
 from repro.workloads.splash import build_app
 
 
+@pytest.mark.slow
 class TestMultiIssueMP:
     def test_wider_machine_is_not_slower(self):
         params = MultiprocessorParams(n_nodes=2)

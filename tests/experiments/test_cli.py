@@ -47,3 +47,36 @@ class TestLightExperiments:
                      "2000"]) == 0
         out = capsys.readouterr().out
         assert "Mean" in out
+
+
+class TestSweepAndCacheVerbs:
+    def test_sweep_renders_everything_and_caches(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        argv = ["sweep", "--jobs", "1", "--nodes", "2",
+                "--measure", "5000", "--warmup", "1000",
+                "--workloads", "R1", "--apps", "cholesky",
+                "--cache-dir", cache_dir]
+        assert main(argv) == 0
+        out = capsys.readouterr().out
+        assert "Table 7" in out and "Table 10" in out
+        assert "Figure 6" in out and "Figure 9" in out
+
+        # warm rerun is served from the on-disk cache
+        assert main(argv) == 0
+        err = capsys.readouterr().err
+        assert "0 computed" in err
+
+    def test_cache_stats_and_clear(self, capsys, tmp_path):
+        cache_dir = str(tmp_path / "cache")
+        assert main(["cache", "stats", "--cache-dir", cache_dir]) == 0
+        assert "entries         : 0" in capsys.readouterr().out
+        assert main(["cache", "clear", "--cache-dir", cache_dir]) == 0
+        assert "cleared 0" in capsys.readouterr().out
+
+    def test_no_cache_flag(self, capsys, tmp_path):
+        # --no-cache suppresses the cache a --cache-dir would enable;
+        # the wiring is shared by every verb, so a static one suffices.
+        cache_dir = tmp_path / "cache"
+        assert main(["table4", "--cache-dir", str(cache_dir),
+                     "--no-cache"]) == 0
+        assert not cache_dir.exists()

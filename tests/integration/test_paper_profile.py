@@ -11,6 +11,8 @@ from repro.config import SystemConfig
 from repro.core.simulator import WorkstationSimulator
 from repro.workloads import build_workload
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def paper_run():

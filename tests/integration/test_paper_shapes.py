@@ -10,6 +10,8 @@ import pytest
 from repro.config import SystemConfig, MultiprocessorParams
 from repro.experiments.runner import ExperimentContext
 
+pytestmark = pytest.mark.slow
+
 
 @pytest.fixture(scope="module")
 def ctx():

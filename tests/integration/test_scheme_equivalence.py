@@ -10,6 +10,8 @@ strongest whole-system invariant the simulator has.
 import pytest
 from dataclasses import replace
 
+pytestmark = pytest.mark.slow
+
 from repro.isa.executor import Memory, run_functional
 from repro.config import PipelineParams, SystemConfig
 from repro.memory.hierarchy import MemorySystem

@@ -1,7 +1,7 @@
 """Synthetic stream generator: controlled statistical properties."""
 
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import assume, given, settings, strategies as st
 
 from repro.isa.encoding import encode, decode
 from repro.isa.executor import run_functional, ExecutionError
@@ -80,6 +80,9 @@ class TestGeneratedProgramsAreSound:
     def test_random_specs_run_and_encode(self, seed, load, store, fp,
                                          branch, dist, stride):
         """Any generated program halts, and every instruction encodes."""
+        # StreamSpec.validate rejects mixes above 90%; the strategy
+        # bounds alone allow up to 95%, so discard the invalid corner.
+        assume(load + store + fp + branch <= 0.9)
         spec = StreamSpec(seed=seed, load_fraction=load,
                           store_fraction=store, fp_fraction=fp,
                           branch_fraction=branch,
