@@ -1,0 +1,156 @@
+"""Event-engine vs naive-loop core timing (CI regression gate).
+
+Times identical runs under both simulation engines and writes the
+wall-clock numbers plus the events/naive *speedup ratios* as JSON
+(``BENCH_core.json`` in CI).  The ratios are host-independent — both
+engines run in the same interpreter on the same machine — so CI can
+gate on them: a checked-in baseline (``BENCH_core_baseline.json``)
+records the expected ratios and the gate fails when any case regresses
+by more than the allowed fraction.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/core_timing.py --out BENCH_core.json
+    PYTHONPATH=src python benchmarks/core_timing.py \
+        --baseline benchmarks/BENCH_core_baseline.json --max-regression 0.20
+"""
+
+import argparse
+import json
+import os
+import platform
+import sys
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.config import SystemConfig, MultiprocessorParams  # noqa: E402
+from repro.experiments.export import write_json              # noqa: E402
+from repro.api import Simulation                             # noqa: E402
+
+#: Memory-latency-bound DASH-like machine (~4x default latencies); see
+#: bench_simulator_speed.STRESS_PARAMS for the rationale.
+STRESS_PARAMS = MultiprocessorParams(
+    n_nodes=4,
+    local_memory=(120, 160),
+    remote_memory=(400, 520),
+    remote_cache=(520, 640),
+)
+
+#: name -> simulation builder kwargs; each case runs once per engine.
+CASES = {
+    "mp3d_interleaved_2": dict(
+        kind="mp", workload="mp3d", scheme="interleaved", n_contexts=2,
+        scale=0.5),
+    "cholesky_interleaved_2": dict(
+        kind="mp", workload="cholesky", scheme="interleaved", n_contexts=2,
+        scale=0.5),
+    "DC_interleaved_4": dict(
+        kind="ws", workload="DC", scheme="interleaved", n_contexts=4,
+        warmup=10_000, measure=60_000),
+}
+
+
+def _run_case(spec, engine):
+    """Run one case under one engine; returns (RunResult, seconds)."""
+    if spec["kind"] == "mp":
+        simulation = Simulation.from_config(
+            STRESS_PARAMS, scheme=spec["scheme"],
+            n_contexts=spec["n_contexts"], seed=1994,
+            engine=engine).load(spec["workload"], scale=spec["scale"])
+        t0 = time.perf_counter()
+        result = simulation.run(until=20_000_000)
+        elapsed = time.perf_counter() - t0
+        if not result.completed:
+            raise RuntimeError("%s did not complete" % spec["workload"])
+    else:
+        simulation = Simulation.from_config(
+            SystemConfig.fast(), scheme=spec["scheme"],
+            n_contexts=spec["n_contexts"], seed=1994,
+            engine=engine).load(spec["workload"])
+        t0 = time.perf_counter()
+        result = simulation.run(warmup=spec["warmup"],
+                                measure=spec["measure"])
+        elapsed = time.perf_counter() - t0
+    return result, elapsed
+
+
+def run_cases():
+    """Time every case under both engines; returns the JSON payload."""
+    cases = {}
+    for name, spec in CASES.items():
+        events, events_s = _run_case(spec, "events")
+        naive, naive_s = _run_case(spec, "naive")
+        if (events.cycles != naive.cycles
+                or events.retired != naive.retired
+                or events.counts != naive.counts):
+            raise AssertionError(
+                "engines disagree on %s: events/naive stats differ" % name)
+        cases[name] = {
+            "cycles": events.cycles,
+            "retired": events.retired,
+            "events_seconds": round(events_s, 3),
+            "naive_seconds": round(naive_s, 3),
+            "speedup": round(naive_s / events_s, 3),
+        }
+    return {
+        "benchmark": "core_timing",
+        "cases": cases,
+        "host": {"python": platform.python_version(),
+                 "machine": platform.machine(),
+                 "cpus": os.cpu_count()},
+    }
+
+
+def check_against_baseline(payload, baseline, max_regression):
+    """Compare speedup ratios; returns a list of failure strings."""
+    failures = []
+    for name, base in baseline["cases"].items():
+        current = payload["cases"].get(name)
+        if current is None:
+            failures.append("case %r missing from current run" % name)
+            continue
+        floor = base["speedup"] * (1.0 - max_regression)
+        if current["speedup"] < floor:
+            failures.append(
+                "%s: speedup %.2fx below floor %.2fx (baseline %.2fx, "
+                "max regression %.0f%%)"
+                % (name, current["speedup"], floor, base["speedup"],
+                   max_regression * 100))
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_core.json")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON to gate against (omit to "
+                             "skip the gate, e.g. when regenerating it)")
+    parser.add_argument("--max-regression", type=float, default=0.20,
+                        help="allowed fractional speedup regression vs "
+                             "the baseline (default 0.20)")
+    args = parser.parse_args(argv)
+
+    payload = run_cases()
+    write_json(args.out, payload)
+    print(json.dumps({name: case["speedup"]
+                      for name, case in payload["cases"].items()},
+                     indent=2))
+    print("wrote %s" % args.out)
+
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+        failures = check_against_baseline(payload, baseline,
+                                          args.max_regression)
+        if failures:
+            for failure in failures:
+                print("REGRESSION: %s" % failure, file=sys.stderr)
+            return 1
+        print("baseline gate passed (max regression %.0f%%)"
+              % (args.max_regression * 100))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,9 +9,8 @@ helps) on a 4-node DASH-like directory-coherent machine.
 Run:  python examples/multiprocessor_splash.py
 """
 
+from repro.api import Simulation
 from repro.config import MultiprocessorParams
-from repro.core.mpsimulator import MultiprocessorSimulator
-from repro.workloads.splash import build_app
 
 N_NODES = 4
 APPS = ("ocean", "cholesky")
@@ -25,16 +24,14 @@ def main():
         print("== %s on %d nodes ==" % (app_name, N_NODES))
         base_cycles = None
         for scheme, n_contexts in CONFIGS:
-            app = build_app(app_name,
-                            n_threads=N_NODES * n_contexts,
-                            threads_per_node=n_contexts)
-            sim = MultiprocessorSimulator(app, scheme=scheme,
-                                          n_contexts=n_contexts,
-                                          params=params)
-            result = sim.run_to_completion()
+            simulation = Simulation.from_config(
+                params, scheme=scheme,
+                n_contexts=n_contexts).load(app_name)
+            result = simulation.run()
+            assert result.completed
             if base_cycles is None:
                 base_cycles = result.cycles
-            bd = result.breakdown_fractions()
+            bd = result.breakdown
             print("  %-12s %d ctx: %7d cycles  speedup %.2fx  "
                   "busy %2.0f%%  mem %2.0f%%  sync %2.0f%%  switch %2.0f%%"
                   % (scheme, n_contexts, result.cycles,
@@ -42,7 +39,7 @@ def main():
                      100 * bd["busy"], 100 * bd["memory"],
                      100 * bd["synchronization"],
                      100 * bd["context_switch"]))
-        machine = sim.machine
+        machine = simulation.simulator.machine
         print("  protocol: %d read misses, %d write misses, "
               "%d upgrades, %d invalidations, %d cache-to-cache"
               % (machine.read_misses, machine.write_misses,

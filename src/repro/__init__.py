@@ -5,15 +5,19 @@ Multithreading Technique Targeting Multiprocessors and Workstations"
 Top-level convenience imports cover the most common entry points; see
 README.md for a tour and DESIGN.md for the system inventory.
 
-    >>> from repro import SystemConfig, WorkstationSimulator, build_workload
-    >>> procs, instances, barriers = build_workload("DC")
-    >>> sim = WorkstationSimulator(procs, scheme="interleaved",
-    ...                            n_contexts=4, config=SystemConfig.fast(),
-    ...                            app_instances=instances, barriers=barriers)
-    >>> result = sim.measure(cycles=120_000, warmup=30_000)
+    >>> from repro import Simulation, SystemConfig
+    >>> result = (Simulation.from_config(SystemConfig.fast(),
+    ...                                  scheme="interleaved", n_contexts=4)
+    ...           .load("DC")
+    ...           .run(warmup=30_000, measure=120_000))
+
+(:class:`repro.api.Simulation` is the supported construction API; the
+simulator classes below remain importable for microarchitectural work.)
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
+
+from repro.api import Simulation, RunResult
 
 from repro.config import (
     SystemConfig,
@@ -32,6 +36,8 @@ from repro.workloads import build_workload, build_app
 
 __all__ = [
     "__version__",
+    "Simulation",
+    "RunResult",
     "SystemConfig",
     "MultiprocessorParams",
     "PipelineParams",

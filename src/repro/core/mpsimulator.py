@@ -6,13 +6,14 @@ hardware contexts; more contexts per processor means the application is
 partitioned into proportionally more threads (n_nodes × n_contexts).
 """
 
+import warnings
+
 from repro.config import MultiprocessorParams, PipelineParams
 from repro.coherence.dsm import DSMachine
 from repro.core.processor import Processor
 from repro.core.simulator import Process, SimulationDeadlock
 from repro.core.sync import SyncManager
 from repro.core.stats import CycleStats
-from repro.pipeline.stalls import Stall
 
 
 class MPResult:
@@ -36,11 +37,21 @@ class MPResult:
 class MultiprocessorSimulator:
     """Run a parallel application instance on the DASH-like machine."""
 
+    #: Default completion bound of :meth:`run` (cycles).
+    DEFAULT_MAX_CYCLES = 50_000_000
+
     def __init__(self, app_instance, scheme="interleaved", n_contexts=1,
-                 params=None, pipeline=None, seed=None):
+                 params=None, pipeline=None, seed=None, engine="events"):
+        if engine not in ("events", "naive"):
+            raise ValueError("engine must be 'events' or 'naive', not %r"
+                             % (engine,))
+        self.engine = engine
         self.params = params if params is not None else MultiprocessorParams()
         self.pipeline = pipeline if pipeline is not None else PipelineParams()
         self.app = app_instance
+        self.scheme = scheme
+        self.n_contexts = n_contexts
+        self.seed = seed
         n_nodes = self.params.n_nodes
         threads = app_instance.programs
         if len(threads) != n_nodes * n_contexts:
@@ -74,48 +85,138 @@ class MultiprocessorSimulator:
             self.processes.append(process)
             self.processors[node_id].load_process(slot, process)
         self.now = 0
+        # Completion tracking for the event engine: counting HALTs as
+        # they retire beats scanning every context every cycle.
+        self._halted = 0
+        for proc in self.processors:
+            proc.on_halt = self._note_halt
+
+    def _note_halt(self, ctx, now):
+        self._halted += 1
+
+    def all_halted(self):
+        """True when every thread of the application has executed HALT."""
+        return self._halted >= len(self.processes)
+
+    def next_event_cycle(self):
+        """Event-protocol report for the whole machine: the earliest
+        cycle any node can issue (NEVER when fully halted/blocked)."""
+        return min(p.next_event_cycle(self.now) for p in self.processors)
+
+    def run(self, cycles=None, *, until=None):
+        """Advance until completion or ``until``; returns a
+        :class:`repro.api.RunResult`.
+
+        The unified entry point shared with the workstation simulator:
+        ``until`` is an *absolute* cycle bound; the run stops early when
+        every thread has halted, and the result's ``completed`` flag
+        records which happened.  The historical relative form
+        ``run(n_cycles)`` is accepted but deprecated.
+        """
+        if cycles is not None:
+            if until is not None:
+                raise TypeError(
+                    "pass either cycles (deprecated) or until, not both")
+            warnings.warn(
+                "MultiprocessorSimulator.run(cycles) is deprecated; use "
+                "run(until=<absolute cycle>) or repro.api.Simulation",
+                DeprecationWarning, stacklevel=2)
+            until = self.now + cycles
+        if until is None:
+            until = self.now + self.DEFAULT_MAX_CYCLES
+        from repro.api import multiprocessor_run_result
+        self._advance(until)
+        return multiprocessor_run_result(self, self._result())
 
     def run_to_completion(self, max_cycles=50_000_000):
-        """Step all nodes until every thread halts; returns MPResult."""
-        procs = self.processors
-        now = self.now
-        end = now + max_cycles
-        while now < end:
-            if all(p.all_halted() for p in procs):
-                break
-            all_idle = True
-            for p in procs:
-                if not p.step(now):
-                    all_idle = False
-            now += 1
-            if all_idle:
-                now = self._skip_global_idle(now, end)
-        else:
+        """Deprecated shim: step all nodes until every thread halts.
+
+        Returns the historical :class:`MPResult` and raises when the
+        application does not finish within ``max_cycles``.  New code
+        should call ``run(until=...)`` (or the :class:`repro.api.
+        Simulation` facade) and inspect ``RunResult.completed``.
+        """
+        warnings.warn(
+            "run_to_completion(max_cycles) is deprecated; use "
+            "run(until=<absolute cycle>) or repro.api.Simulation",
+            DeprecationWarning, stacklevel=2)
+        self._advance(self.now + max_cycles)
+        if not self.all_halted():
             raise RuntimeError(
                 "application %r did not finish within %d cycles"
                 % (self.app.name, max_cycles))
-        self.now = now
-        return MPResult(now, [p.stats for p in procs], self.machine)
+        return self._result()
 
-    def _skip_global_idle(self, now, end):
-        """All processors idle: jump to the earliest machine-wide wake."""
-        infos = []
-        target = None
-        for p in self.processors:
-            info = p.idle_until(now)
-            if info is None:
-                return now  # raced awake (e.g. a lock handoff this cycle)
-            infos.append(info)
-            wake, _ = info
-            if wake is not None and (target is None or wake < target):
-                target = wake
-        if target is None:
-            if all(p.all_halted() for p in self.processors):
-                return now
-            raise SimulationDeadlock(
-                "all processors blocked on external events at cycle %d"
-                % now)
-        target = min(target, end)
-        for p, (wake, reason) in zip(self.processors, infos):
-            p.skip_idle(now, target, reason)
-        return target
+    def _result(self):
+        return MPResult(self.now, [p.stats for p in self.processors],
+                        self.machine)
+
+    def _advance(self, end):
+        if self.engine == "naive":
+            self._advance_naive(end)
+        else:
+            self._advance_events(end)
+
+    def _advance_naive(self, end):
+        """Reference engine: lockstep-step every node every cycle.
+
+        The event engine's contract is defined against this loop — any
+        run must produce bit-identical statistics and cycle counts.
+        """
+        procs = self.processors
+        now = self.now
+        n_live = len(self.processes)
+        while now < end:
+            if self._halted >= n_live:
+                break
+            for p in procs:
+                p.step(now)
+            now += 1
+        self.now = now
+
+    def _advance_events(self, end):
+        """Event engine: park idle nodes, fast-forward global idle.
+
+        Each cycle only the nodes with work are stepped (in node order,
+        preserving the lockstep access interleaving exactly); a node
+        that reports nothing runnable is *parked* — its idle accounting
+        is deferred until it is woken by its own clock (``parked_due``),
+        by a sync handoff (``context_woken``), or by the run ending.
+        When every node is parked the loop jumps straight to the
+        earliest due cycle.
+        """
+        procs = self.processors
+        now = self.now
+        n_live = len(self.processes)
+        while now < end:
+            if self._halted >= n_live:
+                break
+            stepped = False
+            min_due = None
+            for p in procs:
+                if p._parked_from is not None:
+                    due = p.parked_due()
+                    if due is None:
+                        continue
+                    if due > now:
+                        if min_due is None or due < min_due:
+                            min_due = due
+                        continue
+                    p.unpark(now)
+                idle = p.step(now)
+                stepped = True
+                if idle or p.stall_until > now + 1:
+                    p.park(now + 1)
+            if stepped:
+                now += 1
+                continue
+            if min_due is None:
+                # Nothing will ever run again by itself; if threads
+                # remain unhalted they wait on sync no one can provide.
+                raise SimulationDeadlock(
+                    "all processors blocked on external events at cycle"
+                    " %d" % now)
+            now = min(min_due, end)
+        for p in procs:
+            p.unpark(now)
+        self.now = now

@@ -29,10 +29,14 @@ out to the fill-completion cycle.
 
 from repro.isa.opcodes import Op
 from repro.isa.executor import execute
+from repro.isa.instruction import (
+    KIND_CONTROL, KIND_MEM, KIND_PREFETCH, KIND_LOCK, KIND_UNLOCK,
+    KIND_BARRIER, KIND_BACKOFF, KIND_SWITCH,
+)
 from repro.pipeline.btb import BranchTargetBuffer
 from repro.pipeline.scoreboard import Scoreboard
 from repro.pipeline.stalls import Stall
-from repro.core.context import HardwareContext, Status
+from repro.core.context import HardwareContext, Status, NEVER
 from repro.core.stats import CycleStats
 from repro.core.policies import make_policy, idle_wake_info
 
@@ -63,6 +67,13 @@ class Processor:
         #: with kind in {"busy", "squash", "stall", "idle"}; used by the
         #: Figure 2/3 trace reproductions.  None (the default) is free.
         self.trace = None
+        # Event-engine parking state (see park/unpark below): while
+        # parked, idle-slot accounting is deferred and settled lazily so
+        # a fast-forwarding loop never steps this processor cycle by
+        # cycle through a known-idle window.
+        self._parked_from = None
+        self._parked_wake = 0
+        self._parked_reason = Stall.IDLE
 
     # -- process management ----------------------------------------------------
 
@@ -153,9 +164,94 @@ class Processor:
         return idle_wake_info(self.contexts)
 
     def skip_idle(self, now, target, reason):
-        """Account an idle jump from ``now`` to ``target``."""
+        """Account an idle jump from ``now`` to ``target``.
+
+        Charges every issue slot of the skipped window, exactly as
+        cycle-by-cycle stepping would (``issue_width`` slots per cycle).
+        """
         if target > now:
-            self.stats.add(reason, target - now)
+            self.stats.add(reason, (target - now) * self.pp.issue_width)
+
+    # -- event-engine protocol ----------------------------------------------------
+
+    def next_event_cycle(self, now):
+        """Earliest cycle >= ``now`` at which this processor can issue.
+
+        The processor-level composition of the event protocol: ``now``
+        when a context is selectable this cycle, the end of a processor-
+        wide stall window, the earliest context wake (MSHR fill, TLB
+        refill, backoff, doomed completion), or :data:`NEVER` when only
+        an external event (lock/barrier handoff from another processor)
+        can make progress.
+        """
+        info = self.idle_until(now)
+        if info is None:
+            return now
+        wake, _ = info
+        return NEVER if wake is None else wake
+
+    def park(self, now):
+        """Begin deferring idle accounting from cycle ``now``.
+
+        Returns True when the processor has nothing to issue at ``now``
+        (it is then parked); the owning loop must not step a parked
+        processor again before :meth:`parked_due`, and must
+        :meth:`unpark` it before doing so.  Equivalent to stepping every
+        cycle of the window: idle slots are charged on unpark with the
+        reason cycle-stepping would have used, and external wakes are
+        reconciled by :meth:`context_woken`.
+        """
+        info = self.idle_until(now)
+        if info is None:
+            return False
+        self._parked_from = now
+        self._parked_wake, self._parked_reason = info
+        return True
+
+    def parked_due(self):
+        """Cycle a parked processor must be stepped again, None if only
+        an external wake (or nothing) can ever make it runnable."""
+        wake = self._parked_wake
+        if wake is None:
+            return None
+        return wake if wake > self._parked_from else self._parked_from
+
+    def unpark(self, now):
+        """Settle the deferred idle window [parked_from, ``now``)."""
+        start = self._parked_from
+        if start is None:
+            return
+        if now > start:
+            self.stats.add(self._parked_reason,
+                           (now - start) * self.pp.issue_width)
+        self._parked_from = None
+
+    def context_woken(self, ctx, wake_at, now, waker=None):
+        """Sync-event wake of ``ctx`` scheduled for ``wake_at``.
+
+        Called by the SyncManager (instead of a bare ``ctx.wake``) when
+        another processor's lock release or barrier arrival at cycle
+        ``now`` wakes one of this processor's contexts.  For a parked
+        processor the deferred window is settled with the pre-wake stall
+        reason up to the cycle the wake becomes visible, then parking
+        resumes with the post-wake idle information — reproducing naive
+        stepping exactly: within a cycle processors step in id order, so
+        this processor observes the wake at ``now`` when it steps after
+        the waker and at ``now + 1`` otherwise.
+        """
+        if self._parked_from is None:
+            ctx.wake(wake_at)
+            return
+        boundary = now
+        if waker is None or self.proc_id < waker.proc_id:
+            boundary = now + 1
+        if boundary < self._parked_from:
+            boundary = self._parked_from
+        self.unpark(boundary)
+        ctx.wake(wake_at)
+        self._parked_from = boundary
+        self._parked_wake, self._parked_reason = \
+            idle_wake_info(self.contexts)
 
     # -- internals ---------------------------------------------------------------
 
@@ -262,27 +358,28 @@ class Processor:
                 stats.add(Stall.INST_LONG)
             return
 
-        op = inst.op
-        info = inst.info
-
-        if info.is_load or info.is_store:
+        # Dispatch on the decode-time issue kind (precomputed on the
+        # Instruction, so the hot path never re-inspects OpInfo flags).
+        kind = inst.kind
+        if kind == KIND_MEM:
             self._issue_memory(ctx, inst, now)
-        elif info.is_prefetch:
+        elif kind == KIND_CONTROL:
+            self._retire(ctx, inst, now)
+            self._resolve_control(ctx, inst, fetch_addr, now)
+        elif kind == KIND_PREFETCH:
             self._issue_prefetch(ctx, inst, now)
-        elif op is Op.LOCK:
+        elif kind == KIND_LOCK:
             self._issue_lock(ctx, inst, now)
-        elif op is Op.UNLOCK:
+        elif kind == KIND_UNLOCK:
             self._issue_unlock(ctx, inst, now)
-        elif op is Op.BARRIER:
+        elif kind == KIND_BARRIER:
             self._issue_barrier(ctx, inst, now)
-        elif op is Op.BACKOFF:
+        elif kind == KIND_BACKOFF:
             self._issue_backoff(ctx, inst, now)
-        elif op is Op.SWITCH:
+        elif kind == KIND_SWITCH:
             self._issue_switch(ctx, inst, now)
         else:
             self._retire(ctx, inst, now)
-            if info.is_branch or info.is_jump:
-                self._resolve_control(ctx, inst, fetch_addr, now)
 
     def _access_satisfied(self, ctx, inst, now):
         """Perform the timing access for a memory op; True when usable.

@@ -8,6 +8,7 @@ time; its only modelled effect is the cache pollution.
 """
 
 import random
+import warnings
 
 from repro.isa.executor import ArchState, Memory
 from repro.config import SystemConfig
@@ -63,10 +64,18 @@ class WorkstationSimulator:
 
     def __init__(self, processes, scheme="interleaved", n_contexts=1,
                  config=None, seed=1994, app_instances=(), barriers=None,
-                 restart_halted=True):
+                 restart_halted=True, engine="events"):
         if not processes:
             raise ValueError("need at least one process")
+        if engine not in ("events", "naive"):
+            raise ValueError("engine must be 'events' or 'naive', not %r"
+                             % (engine,))
+        #: "events" fast-forwards idle windows via the next_event_cycle
+        #: protocol; "naive" steps every cycle and is the reference the
+        #: event engine must match bit for bit.
+        self.engine = engine
         self.config = config if config is not None else SystemConfig.fast()
+        self.seed = seed
         self.processes = list(processes)
         for pid, p in enumerate(self.processes):
             p.pid = pid
@@ -149,36 +158,113 @@ class WorkstationSimulator:
 
     # -- running ------------------------------------------------------------------
 
-    def run(self, cycles):
-        """Advance the machine by ``cycles`` cycles."""
+    def next_event_cycle(self):
+        """Event-protocol report for the whole workstation.
+
+        The earliest of the processor's next issue opportunity and the
+        scheduler's next slice interrupt; the event engine never jumps
+        past this cycle.
+        """
+        slice_len = self.config.os.time_slice
+        next_interrupt = ((self.now // slice_len) + 1) * slice_len
+        return min(self.processor.next_event_cycle(self.now),
+                   next_interrupt)
+
+    def run(self, cycles=None, *, until=None):
+        """Advance the machine; returns a :class:`repro.api.RunResult`.
+
+        The unified entry point shared with the multiprocessor
+        simulator: ``run(until=cycle)`` advances to the *absolute* cycle
+        ``until``.  The historical relative form ``run(n_cycles)`` still
+        works but is deprecated — use ``until`` or the
+        :class:`repro.api.Simulation` facade.
+        """
+        if cycles is not None:
+            if until is not None:
+                raise TypeError(
+                    "pass either cycles (deprecated) or until, not both")
+            warnings.warn(
+                "WorkstationSimulator.run(cycles) is deprecated; use "
+                "run(until=<absolute cycle>) or repro.api.Simulation",
+                DeprecationWarning, stacklevel=2)
+            until = self.now + cycles
+        if until is None:
+            raise TypeError("run() requires until=<absolute cycle>")
+        from repro.api import workstation_run_result
+        start = self.now
+        stats_before = self.processor.stats.snapshot()
+        retired_before = {p.name: p.retired for p in self.processes}
+        self._advance(until)
+        stats = self.processor.stats.delta_since(stats_before)
+        per_process = {p.name: p.retired - retired_before[p.name]
+                       for p in self.processes}
+        window = RunResult(self.now - start, stats, per_process)
+        return workstation_run_result(self, window)
+
+    def _advance(self, end):
+        if self.engine == "naive":
+            self._advance_naive(end)
+        else:
+            self._advance_events(end)
+
+    def _advance_naive(self, end):
+        """Reference engine: step every cycle.
+
+        The event engine's contract is defined against this loop — any
+        run must produce bit-identical statistics either way.
+        """
         proc = self.processor
         now = self.now
-        end = now + cycles
         slice_len = self.config.os.time_slice
         next_interrupt = ((now // slice_len) + 1) * slice_len
         while now < end:
             if now >= next_interrupt:
                 self._scheduler_interrupt()
                 next_interrupt += slice_len
-            idle = proc.idle_until(now)
-            if idle is not None:
-                wake, reason = idle
-                if wake is None:
-                    if reason is Stall.IDLE:
-                        # Everything halted: idle out the window.
-                        proc.skip_idle(now, end, Stall.IDLE)
-                        now = end
-                        break
-                    raise SimulationDeadlock(
-                        "all contexts blocked on %s with nothing running"
-                        % reason.name)
-                target = min(wake, end, next_interrupt)
-                if target > now:
-                    proc.skip_idle(now, target, reason)
-                    now = target
-                    continue
             proc.step(now)
             now += 1
+        self.now = now
+
+    def _advance_events(self, end):
+        """Event engine: fast-forward idle windows.
+
+        The idle probe (``Processor.idle_until`` — the accounting
+        variant of ``next_event_cycle``) is only taken when the previous
+        step was idle or froze the front end, keeping it off the busy
+        hot path; jumps never cross ``end`` or a scheduler interrupt.
+        """
+        proc = self.processor
+        now = self.now
+        slice_len = self.config.os.time_slice
+        next_interrupt = ((now // slice_len) + 1) * slice_len
+        check_idle = True
+        while now < end:
+            if now >= next_interrupt:
+                self._scheduler_interrupt()
+                next_interrupt += slice_len
+                check_idle = True
+            if check_idle:
+                idle = proc.idle_until(now)
+                if idle is not None:
+                    wake, reason = idle
+                    if wake is None:
+                        if reason is Stall.IDLE:
+                            # Everything halted: idle out the window.
+                            proc.skip_idle(now, end, Stall.IDLE)
+                            now = end
+                            break
+                        raise SimulationDeadlock(
+                            "all contexts blocked on %s with nothing "
+                            "running" % reason.name)
+                    target = min(wake, end, next_interrupt)
+                    if target > now:
+                        proc.skip_idle(now, target, reason)
+                        now = target
+                        continue
+            check_idle = proc.step(now)
+            now += 1
+            if not check_idle and proc.stall_until > now:
+                check_idle = True
         self.now = now
 
     def measure(self, cycles, warmup=0):
@@ -189,10 +275,10 @@ class WorkstationSimulator:
         gathered" so caches are loaded and initialisation is excluded.
         """
         if warmup:
-            self.run(warmup)
+            self._advance(self.now + warmup)
         stats_before = self.processor.stats.snapshot()
         retired_before = {p.name: p.retired for p in self.processes}
-        self.run(cycles)
+        self._advance(self.now + cycles)
         stats = self.processor.stats.delta_since(stats_before)
         per_process = {p.name: p.retired - retired_before[p.name]
                        for p in self.processes}

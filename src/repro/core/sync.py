@@ -52,6 +52,31 @@ class SyncManager:
         """Declare how many threads join barrier ``barrier_id``."""
         self.barriers[barrier_id] = Barrier(n_participants)
 
+    def next_event_cycle(self, now):
+        """Always None: sync state only changes when a processor acts.
+
+        Lock handoffs and barrier releases are delivered eagerly to the
+        woken contexts (via :meth:`_wake`), so the earliest sync-driven
+        event is already visible as a context wake time.
+        """
+        return None
+
+    @staticmethod
+    def _wake(target_proc, target_ctx, wake_at, now, waker):
+        """Wake ``target_ctx`` at ``wake_at``, via its processor's
+        event-engine hook when it has one.
+
+        ``context_woken`` lets a processor that is fast-forwarded past
+        idle cycles settle its deferred accounting at the exact cycle
+        the wake becomes visible; unit tests drive the manager with bare
+        contexts (no processor), for which a plain wake is equivalent.
+        """
+        hook = getattr(target_proc, "context_woken", None)
+        if hook is not None:
+            hook(target_ctx, wake_at, now, waker)
+        else:
+            target_ctx.wake(wake_at)
+
     # -- locks ---------------------------------------------------------------
 
     def try_acquire(self, lock_addr, processor, ctx):
@@ -85,7 +110,8 @@ class SyncManager:
             next_proc, next_ctx = lock.waiters.pop(0)
             lock.holder = (next_proc, next_ctx)
             self.lock_acquires += 1
-            next_ctx.wake(now + self.lock_transfer_latency)
+            self._wake(next_proc, next_ctx,
+                       now + self.lock_transfer_latency, now, processor)
         else:
             lock.holder = None
 
@@ -111,8 +137,9 @@ class SyncManager:
         if len(barrier.arrived) < barrier.expected:
             return False
         release_at = now + self.barrier_release_latency
-        for _, waiting_ctx in barrier.arrived[:-1]:
-            waiting_ctx.wake(release_at)
+        for waiting_proc, waiting_ctx in barrier.arrived[:-1]:
+            self._wake(waiting_proc, waiting_ctx, release_at, now,
+                       processor)
         barrier.arrived.clear()
         self.barrier_episodes += 1
         return True

@@ -70,16 +70,14 @@ def _analyze(ctx):
     print(analysis.render_workstation(
         analysis.analyze_workstation(run.simulator, run.result)))
     print()
-    from repro.core.mpsimulator import MultiprocessorSimulator
-    from repro.workloads.splash import build_app
-    app = build_app("mp3d", n_threads=ctx.mp_params.n_nodes * 4,
-                    threads_per_node=4)
-    sim = MultiprocessorSimulator(app, scheme="interleaved",
-                                  n_contexts=4, params=ctx.mp_params,
-                                  seed=ctx.seed)
-    result = sim.run_to_completion()
+    from repro.api import Simulation
+    simulation = Simulation.from_config(
+        ctx.mp_params, scheme="interleaved", n_contexts=4,
+        seed=ctx.seed).load("mp3d")
+    result = simulation.run()
     print(analysis.render_multiprocessor(
-        analysis.analyze_multiprocessor(sim, result)))
+        analysis.analyze_multiprocessor(simulation.simulator,
+                                        result.raw)))
 
 
 def _export(ctx):

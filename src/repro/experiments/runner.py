@@ -15,11 +15,8 @@ by construction (each point is seeded independently from the context's
 seed; no state is shared between points).
 """
 
+from repro.api import Simulation
 from repro.config import SystemConfig, MultiprocessorParams
-from repro.core.simulator import WorkstationSimulator
-from repro.core.mpsimulator import MultiprocessorSimulator
-from repro.workloads import build_workload, build_process
-from repro.workloads.splash import build_app
 
 #: Default measurement window lengths (cycles) for the fast profile.
 UNIPROC_WARMUP = 30_000
@@ -30,39 +27,33 @@ MP_MAX_CYCLES = 20_000_000
 def compute_uniproc(workload, scheme, n_contexts, config, seed,
                     warmup, measure):
     """Measured run of a Table 5 workload; returns (RunResult, sim)."""
-    processes, instances, barriers = build_workload(
-        workload, scale=config.workload_scale)
-    sim = WorkstationSimulator(
-        processes, scheme=scheme, n_contexts=n_contexts,
-        config=config, seed=seed,
-        app_instances=instances, barriers=barriers)
-    result = sim.measure(measure, warmup=warmup)
-    return result, sim
+    simulation = Simulation.from_config(
+        config, scheme=scheme, n_contexts=n_contexts,
+        seed=seed).load(workload)
+    result = simulation.run(warmup=warmup, measure=measure)
+    return result.raw, simulation.simulator
 
 
 def compute_dedicated(kernel_name, config, seed, warmup, measure):
     """Calibration run of one application alone; returns RunResult."""
-    process, instance = build_process(
-        kernel_name, index=0, scale=config.workload_scale)
-    instances = [instance] if instance is not None else []
-    barriers = instance.barriers if instance is not None else {}
-    sim = WorkstationSimulator(
-        [process], scheme="single", n_contexts=1,
-        config=config, seed=seed,
-        app_instances=instances, barriers=barriers)
-    return sim.measure(measure, warmup=warmup)
+    simulation = Simulation.from_config(
+        config, scheme="single", n_contexts=1,
+        seed=seed).load(kernel_name)
+    return simulation.run(warmup=warmup, measure=measure).raw
 
 
 def compute_mp(app_name, scheme, n_contexts, mp_params, seed,
                max_cycles=MP_MAX_CYCLES):
     """Run-to-completion of a SPLASH stand-in; returns MPResult."""
-    n_nodes = mp_params.n_nodes
-    app = build_app(app_name, n_threads=n_nodes * n_contexts,
-                    threads_per_node=n_contexts)
-    sim = MultiprocessorSimulator(
-        app, scheme=scheme, n_contexts=n_contexts,
-        params=mp_params, seed=seed)
-    return sim.run_to_completion(max_cycles)
+    simulation = Simulation.from_config(
+        mp_params, scheme=scheme, n_contexts=n_contexts,
+        seed=seed).load(app_name)
+    result = simulation.run(until=max_cycles)
+    if not result.completed:
+        raise RuntimeError(
+            "application %r did not finish within %d cycles"
+            % (app_name, max_cycles))
+    return result.raw
 
 
 def dedicated_rate_of(result):

@@ -10,6 +10,40 @@ the hot path.
 from repro.isa.opcodes import Op, OP_INFO
 from repro.isa.registers import reg_name, FP_BASE
 
+#: Issue-path dispatch codes, precomputed per instruction so the
+#: processor's hot loop switches on one int instead of re-inspecting
+#: OpInfo flags on every issue attempt (the order of the checks below
+#: mirrors the processor's historical flag tests exactly).
+KIND_PLAIN = 0      # ALU and other simple retire-immediately ops
+KIND_CONTROL = 1    # branches/jumps: retire + BTB resolution
+KIND_MEM = 2        # loads and stores (the D-cache path)
+KIND_PREFETCH = 3
+KIND_LOCK = 4
+KIND_UNLOCK = 5
+KIND_BARRIER = 6
+KIND_BACKOFF = 7
+KIND_SWITCH = 8
+
+
+def _issue_kind(op, info):
+    if info.is_load or info.is_store:
+        return KIND_MEM
+    if info.is_prefetch:
+        return KIND_PREFETCH
+    if op is Op.LOCK:
+        return KIND_LOCK
+    if op is Op.UNLOCK:
+        return KIND_UNLOCK
+    if op is Op.BARRIER:
+        return KIND_BARRIER
+    if op is Op.BACKOFF:
+        return KIND_BACKOFF
+    if op is Op.SWITCH:
+        return KIND_SWITCH
+    if info.is_branch or info.is_jump:
+        return KIND_CONTROL
+    return KIND_PLAIN
+
 
 def _read_set(fmt, rd, rs1, rs2):
     if fmt in ("rrr",):
@@ -37,12 +71,13 @@ class Instruction:
     """One decoded instruction, plus precomputed scheduling metadata."""
 
     __slots__ = ("op", "info", "rd", "rs1", "rs2", "imm",
-                 "reads", "writes", "index", "target_label")
+                 "reads", "writes", "index", "target_label", "kind")
 
     def __init__(self, op, rd=0, rs1=0, rs2=0, imm=0, target_label=None):
         info = OP_INFO[op]
         self.op = op
         self.info = info
+        self.kind = _issue_kind(op, info)
         self.rd = rd
         self.rs1 = rs1
         self.rs2 = rs2
