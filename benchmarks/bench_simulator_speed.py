@@ -1,14 +1,18 @@
 """Raw simulator performance (host cycles-per-second).
 
-Two families of benchmark live here:
+Three families of benchmark live here:
 
 * pytest-benchmark timings of the cycle loop itself (guarding against
-  hot-path regressions), and
+  hot-path regressions),
 * the event-engine acceptance gate: on a memory-latency-bound SPLASH
   configuration the ``events`` engine must finish the same run at least
   3x faster than the ``naive`` reference loop *with bit-identical
   statistics* — the fast-forward engine is an optimisation, never an
-  approximation.
+  approximation, and
+* the burst-engine acceptance gate: on a compute-bound single-context
+  workstation stream (where straight-line bursts are longest) the
+  ``burst`` engine must finish the same run at least 2x faster than
+  ``events``, again bit-identically.
 """
 
 import time
@@ -17,6 +21,7 @@ from repro.config import SystemConfig, MultiprocessorParams
 from repro.core.simulator import WorkstationSimulator
 from repro.core.mpsimulator import MultiprocessorSimulator
 from repro.workloads import build_workload, build_app
+from repro.workloads.synthetic import StreamSpec, build_stream_process
 
 #: Memory-latency-bound machine: DASH-like topology with ~4x the
 #: default latencies (a larger/slower interconnect), where single-issue
@@ -119,4 +124,66 @@ def test_event_engine_speedup_memory_bound(benchmark, save_result):
     save_result("event_engine_speedup", "\n".join(lines))
     assert speedup >= 3.0, (
         "event engine speedup %.2fx below the 3x acceptance floor"
+        % speedup)
+
+
+#: Compute-bound stream: no memory ops, no branches inside blocks, a
+#: dense FP mix with short dependency distances.  Exactly the regime
+#: the burst engine targets — long straight-line runs whose schedules
+#: (including their hazard stalls) precompile completely.
+COMPUTE_SPEC = StreamSpec(name="compute", load_fraction=0.0,
+                          store_fraction=0.0, fp_fraction=0.35,
+                          branch_fraction=0.0, dependency_distance=3,
+                          seed=11)
+
+
+def _run_stream(engine, until=330_000):
+    """One compute-stream run on the single-context workstation."""
+    procs = [build_stream_process(COMPUTE_SPEC, index=0)]
+    sim = WorkstationSimulator(procs, scheme="single", n_contexts=1,
+                               config=SystemConfig.fast(), engine=engine)
+    t0 = time.perf_counter()
+    result = sim.run(until=until)
+    elapsed = time.perf_counter() - t0
+    return result, elapsed
+
+
+def test_burst_engine_speedup_compute_bound(benchmark, save_result):
+    """Acceptance gate: >=2x over the event engine on long bursts.
+
+    Single-context workstation, compute-bound stream: the event engine
+    has nothing to fast-forward (the pipeline is never idle), so it
+    pays the full per-cycle issue path; the burst engine retires whole
+    precompiled segments and bulk-charges hazard-stall windows.  All
+    three engines must agree bit for bit.  The ratio is
+    host-independent (same interpreter, same process), so the
+    assertion is stable in CI.
+    """
+    def run_all():
+        bu, bu_s = _run_stream("burst")
+        ev, ev_s = _run_stream("events")
+        nv, nv_s = _run_stream("naive")
+        return bu, bu_s, ev, ev_s, nv, nv_s
+
+    burst, burst_s, events, events_s, naive, naive_s = benchmark.pedantic(
+        run_all, rounds=1, iterations=1)
+    _assert_identical(burst, naive)
+    _assert_identical(events, naive)
+    speedup = events_s / burst_s
+    lines = [
+        "Burst engine vs event engine (compute-bound stream, single",
+        "context workstation; 330k cycles):",
+        "",
+        "  cycles simulated : %d" % burst.cycles,
+        "  instructions     : %d" % burst.retired,
+        "  naive wall clock : %.2f s" % naive_s,
+        "  events wall clock: %.2f s" % events_s,
+        "  burst wall clock : %.2f s" % burst_s,
+        "  speedup vs events: %.1fx" % speedup,
+        "  speedup vs naive : %.1fx" % (naive_s / burst_s),
+        "  stats identical  : yes (enforced, all three engines)",
+    ]
+    save_result("burst_engine_speedup", "\n".join(lines))
+    assert speedup >= 2.0, (
+        "burst engine speedup %.2fx below the 2x acceptance floor"
         % speedup)

@@ -1,18 +1,22 @@
-"""Event-engine vs naive-loop core timing (CI regression gate).
+"""Engine core timing: events and burst vs the naive loop (CI gate).
 
-Times identical runs under both simulation engines and writes the
-wall-clock numbers plus the events/naive *speedup ratios* as JSON
-(``BENCH_core.json`` in CI).  The ratios are host-independent — both
+Times identical runs under all three simulation engines and writes the
+wall-clock numbers plus the *speedup ratios* (``speedup`` =
+naive/events, ``burst_speedup`` = naive/burst) as JSON
+(``BENCH_core.json`` in CI).  The ratios are host-independent — the
 engines run in the same interpreter on the same machine — so CI can
-gate on them: a checked-in baseline (``BENCH_core_baseline.json``)
-records the expected ratios and the gate fails when any case regresses
+gate on them: checked-in baselines (``BENCH_core_baseline.json`` for
+the event engine, ``BENCH_burst_baseline.json`` for the burst engine)
+record the expected ratios and the gate fails when any case regresses
 by more than the allowed fraction.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/core_timing.py --out BENCH_core.json
     PYTHONPATH=src python benchmarks/core_timing.py \
-        --baseline benchmarks/BENCH_core_baseline.json --max-regression 0.20
+        --baseline benchmarks/BENCH_core_baseline.json \
+        --burst-baseline benchmarks/BENCH_burst_baseline.json \
+        --max-regression 0.20
 """
 
 import argparse
@@ -37,6 +41,12 @@ STRESS_PARAMS = MultiprocessorParams(
     remote_cache=(520, 640),
 )
 
+#: Compute-bound stream for the burst engine's best case; mirrors
+#: bench_simulator_speed.COMPUTE_SPEC.
+_COMPUTE_SPEC = dict(name="compute", load_fraction=0.0,
+                     store_fraction=0.0, fp_fraction=0.35,
+                     branch_fraction=0.0, dependency_distance=3, seed=11)
+
 #: name -> simulation builder kwargs; each case runs once per engine.
 CASES = {
     "mp3d_interleaved_2": dict(
@@ -48,6 +58,8 @@ CASES = {
     "DC_interleaved_4": dict(
         kind="ws", workload="DC", scheme="interleaved", n_contexts=4,
         warmup=10_000, measure=60_000),
+    "compute_single_1": dict(
+        kind="stream", scheme="single", n_contexts=1, until=330_000),
 }
 
 
@@ -63,6 +75,18 @@ def _run_case(spec, engine):
         elapsed = time.perf_counter() - t0
         if not result.completed:
             raise RuntimeError("%s did not complete" % spec["workload"])
+    elif spec["kind"] == "stream":
+        from repro.core.simulator import WorkstationSimulator
+        from repro.workloads.synthetic import (
+            StreamSpec, build_stream_process)
+        procs = [build_stream_process(StreamSpec(**_COMPUTE_SPEC),
+                                      index=0)]
+        sim = WorkstationSimulator(
+            procs, scheme=spec["scheme"], n_contexts=spec["n_contexts"],
+            config=SystemConfig.fast(), seed=1994, engine=engine)
+        t0 = time.perf_counter()
+        result = sim.run(until=spec["until"])
+        elapsed = time.perf_counter() - t0
     else:
         simulation = Simulation.from_config(
             SystemConfig.fast(), scheme=spec["scheme"],
@@ -76,22 +100,27 @@ def _run_case(spec, engine):
 
 
 def run_cases():
-    """Time every case under both engines; returns the JSON payload."""
+    """Time every case under all three engines; returns the payload."""
     cases = {}
     for name, spec in CASES.items():
         events, events_s = _run_case(spec, "events")
         naive, naive_s = _run_case(spec, "naive")
-        if (events.cycles != naive.cycles
-                or events.retired != naive.retired
-                or events.counts != naive.counts):
-            raise AssertionError(
-                "engines disagree on %s: events/naive stats differ" % name)
+        burst, burst_s = _run_case(spec, "burst")
+        for engine_name, other in (("events", events), ("burst", burst)):
+            if (other.cycles != naive.cycles
+                    or other.retired != naive.retired
+                    or other.counts != naive.counts):
+                raise AssertionError(
+                    "engines disagree on %s: %s/naive stats differ"
+                    % (name, engine_name))
         cases[name] = {
             "cycles": events.cycles,
             "retired": events.retired,
             "events_seconds": round(events_s, 3),
             "naive_seconds": round(naive_s, 3),
+            "burst_seconds": round(burst_s, 3),
             "speedup": round(naive_s / events_s, 3),
+            "burst_speedup": round(naive_s / burst_s, 3),
         }
     return {
         "benchmark": "core_timing",
@@ -103,20 +132,33 @@ def run_cases():
 
 
 def check_against_baseline(payload, baseline, max_regression):
-    """Compare speedup ratios; returns a list of failure strings."""
+    """Compare speedup ratios; returns a list of failure strings.
+
+    Every key ending in ``speedup`` in a baseline case is gated — a
+    baseline that records only ``burst_speedup`` gates only the burst
+    engine, the original events baseline gates only ``speedup``.
+    """
     failures = []
     for name, base in baseline["cases"].items():
         current = payload["cases"].get(name)
         if current is None:
             failures.append("case %r missing from current run" % name)
             continue
-        floor = base["speedup"] * (1.0 - max_regression)
-        if current["speedup"] < floor:
-            failures.append(
-                "%s: speedup %.2fx below floor %.2fx (baseline %.2fx, "
-                "max regression %.0f%%)"
-                % (name, current["speedup"], floor, base["speedup"],
-                   max_regression * 100))
+        for key, base_ratio in base.items():
+            if not key.endswith("speedup"):
+                continue
+            ratio = current.get(key)
+            if ratio is None:
+                failures.append("%s: %r missing from current run"
+                                % (name, key))
+                continue
+            floor = base_ratio * (1.0 - max_regression)
+            if ratio < floor:
+                failures.append(
+                    "%s: %s %.2fx below floor %.2fx (baseline %.2fx, "
+                    "max regression %.0f%%)"
+                    % (name, key, ratio, floor, base_ratio,
+                       max_regression * 100))
     return failures
 
 
@@ -124,8 +166,11 @@ def main(argv=None):
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--out", default="BENCH_core.json")
     parser.add_argument("--baseline", default=None,
-                        help="baseline JSON to gate against (omit to "
-                             "skip the gate, e.g. when regenerating it)")
+                        help="event-engine baseline JSON to gate against "
+                             "(omit to skip the gate, e.g. when "
+                             "regenerating it)")
+    parser.add_argument("--burst-baseline", default=None,
+                        help="burst-engine baseline JSON to gate against")
     parser.add_argument("--max-regression", type=float, default=0.20,
                         help="allowed fractional speedup regression vs "
                              "the baseline (default 0.20)")
@@ -133,20 +178,25 @@ def main(argv=None):
 
     payload = run_cases()
     write_json(args.out, payload)
-    print(json.dumps({name: case["speedup"]
+    print(json.dumps({name: {"speedup": case["speedup"],
+                             "burst_speedup": case["burst_speedup"]}
                       for name, case in payload["cases"].items()},
                      indent=2))
     print("wrote %s" % args.out)
 
-    if args.baseline:
-        with open(args.baseline) as fh:
+    failures = []
+    for path in (args.baseline, args.burst_baseline):
+        if not path:
+            continue
+        with open(path) as fh:
             baseline = json.load(fh)
-        failures = check_against_baseline(payload, baseline,
-                                          args.max_regression)
-        if failures:
-            for failure in failures:
-                print("REGRESSION: %s" % failure, file=sys.stderr)
-            return 1
+        failures.extend(check_against_baseline(payload, baseline,
+                                               args.max_regression))
+    if failures:
+        for failure in failures:
+            print("REGRESSION: %s" % failure, file=sys.stderr)
+        return 1
+    if args.baseline or args.burst_baseline:
         print("baseline gate passed (max regression %.0f%%)"
               % (args.max_regression * 100))
     return 0

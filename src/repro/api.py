@@ -63,7 +63,7 @@ class RunResult:
     scheme: str
     n_contexts: int
     seed: int
-    engine: str               # "events" | "naive"
+    engine: str               # "events" | "naive" | "burst"
     cycles: int               # window length / completion cycle
     completed: bool           # mp: every thread halted within the bound
     retired: int

@@ -43,6 +43,10 @@ class NodeMemory:
         """Ideal instruction cache (paper Section 5.2)."""
         return AccessResult("l1", now)
 
+    def inst_run_hits(self, addr, n_insts, already_fetched):
+        """Burst fetch guard: trivially satisfied (ideal I-cache)."""
+        return True
+
     def data_access(self, addr, is_write, now, requester=None):
         return self.machine.access(self.node_id, addr, is_write, now)
 

@@ -27,7 +27,7 @@ class HardwareContext:
                  "wake_at", "wake_reason", "doomed_detect",
                  "doomed_completion", "doomed_count", "next_issue_min",
                  "waiting_on_lock", "fetch_pc", "fetch_valid",
-                 "satisfied_pc", "run_instructions")
+                 "satisfied_pc", "run_instructions", "burst_table")
 
     def __init__(self, cid):
         self.cid = cid
@@ -57,6 +57,9 @@ class HardwareContext:
         #: (the paper's "runlength"; Section 5.1 relates it to the share
         #: of the processor an application receives).
         self.run_instructions = 0
+        #: Burst-per-entry-PC table of the loaded program (burst engine
+        #: only; None under the naive/event engines).
+        self.burst_table = None
 
     def load(self, process):
         """Load a software process onto this hardware context."""
@@ -71,6 +74,7 @@ class HardwareContext:
         self.fetch_valid = False
         self.satisfied_pc = -1
         self.run_instructions = 0
+        self.burst_table = None
 
     def unload(self):
         """Remove the current process (its ArchState persists with it)."""
@@ -78,6 +82,7 @@ class HardwareContext:
         self.state = None
         self.program = None
         self.status = Status.EMPTY
+        self.burst_table = None
 
     def wait_until(self, cycle, reason):
         self.status = Status.WAITING

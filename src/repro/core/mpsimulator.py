@@ -42,9 +42,10 @@ class MultiprocessorSimulator:
 
     def __init__(self, app_instance, scheme="interleaved", n_contexts=1,
                  params=None, pipeline=None, seed=None, engine="events"):
-        if engine not in ("events", "naive"):
-            raise ValueError("engine must be 'events' or 'naive', not %r"
-                             % (engine,))
+        if engine not in ("events", "naive", "burst"):
+            raise ValueError(
+                "engine must be 'events', 'naive' or 'burst', not %r"
+                % (engine,))
         self.engine = engine
         self.params = params if params is not None else MultiprocessorParams()
         self.pipeline = pipeline if pipeline is not None else PipelineParams()
@@ -78,6 +79,12 @@ class MultiprocessorSimulator:
                              self.machine.nodes[node_id],
                              self.machine.memory, sync=self.sync,
                              proc_id=node_id)
+            if engine == "burst":
+                proc.burst_enabled = self.pipeline.issue_width == 1
+                # Another node's lock release or barrier arrival can
+                # wake a context here mid-window, so burst dispatch must
+                # veto whenever such a wake is possible.
+                proc.extern_wakes = True
             self.processors.append(proc)
         for t, program in enumerate(threads):
             node_id, slot = t // n_contexts, t % n_contexts
@@ -154,6 +161,8 @@ class MultiprocessorSimulator:
     def _advance(self, end):
         if self.engine == "naive":
             self._advance_naive(end)
+        elif self.engine == "burst":
+            self._advance_burst(end)
         else:
             self._advance_events(end)
 
@@ -172,6 +181,61 @@ class MultiprocessorSimulator:
             for p in procs:
                 p.step(now)
             now += 1
+        self.now = now
+
+    def _advance_burst(self, end):
+        """Burst engine: the event loop plus one-step burst retire.
+
+        A node that dispatched a burst is busy — and fully accounted —
+        until its ``burst_until``; it is simply skipped (not stepped,
+        not parked) while other nodes keep their per-cycle lockstep.
+        When every node is parked or mid-burst the loop jumps to the
+        earliest due cycle, which includes burst ends.  Bursts contain
+        no memory or synchronisation operations, so a mid-burst node
+        cannot affect (or, thanks to the dispatch-time wake guards, be
+        affected by) any other node.
+        """
+        procs = self.processors
+        for p in procs:
+            p.burst_limit = end
+        now = self.now
+        n_live = len(self.processes)
+        while now < end:
+            if self._halted >= n_live:
+                break
+            stepped = False
+            min_due = None
+            for p in procs:
+                due = p.burst_until
+                if due > now:
+                    if min_due is None or due < min_due:
+                        min_due = due
+                    continue
+                if p._parked_from is not None:
+                    due = p.parked_due()
+                    if due is None:
+                        continue
+                    if due > now:
+                        if min_due is None or due < min_due:
+                            min_due = due
+                        continue
+                    p.unpark(now)
+                idle = p.step(now)
+                stepped = True
+                if p.burst_until > now:
+                    continue
+                if idle or p.stall_until > now + 1:
+                    p.park(now + 1)
+            if stepped:
+                now += 1
+                continue
+            if min_due is None:
+                raise SimulationDeadlock(
+                    "all processors blocked on external events at cycle"
+                    " %d" % now)
+            now = min(min_due, end)
+        for p in procs:
+            p.unpark(now)
         self.now = now
 
     def _advance_events(self, end):

@@ -74,6 +74,18 @@ class Processor:
         self._parked_from = None
         self._parked_wake = 0
         self._parked_reason = Stall.IDLE
+        # Burst-engine state: when enabled, straight-line runs whose
+        # precompiled schedule is valid retire in one step (_try_burst)
+        # and the processor is busy — fully accounted — until
+        # burst_until.  burst_limit bounds a dispatch so a burst never
+        # crosses the advance window or a scheduler interrupt, and
+        # extern_wakes marks machines (the multiprocessor) where a
+        # lock/barrier handoff from another processor could land inside
+        # a burst window.
+        self.burst_enabled = False
+        self.burst_until = 0
+        self.burst_limit = NEVER
+        self.extern_wakes = False
 
     # -- process management ----------------------------------------------------
 
@@ -82,6 +94,9 @@ class Processor:
         ctx = self.contexts[slot]
         ctx.load(process)
         self.scoreboard.clear_context(slot)
+        if self.burst_enabled:
+            ctx.burst_table = process.program.bursts_for(
+                self.pp.short_stall_threshold)
         return ctx
 
     def unload_process(self, slot):
@@ -105,6 +120,10 @@ class Processor:
         """
         stats = self.stats
         width = self.pp.issue_width
+        if now < self.burst_until:
+            # Inside a dispatched burst window: every slot up to
+            # burst_until was charged at dispatch time.
+            return False
         if now < self.stall_until:
             stats.add(self.stall_category, width)
             if self.trace is not None:
@@ -128,6 +147,9 @@ class Processor:
                 if self.trace is not None:
                     self.trace(now, ctx, "squash")
                 continue
+            if (self.burst_enabled and self.trace is None
+                    and self._try_burst(ctx, now)):
+                break
             retired_before = stats.retired
             squashed_before = stats.squashed
             self._try_issue(ctx, now)
@@ -323,6 +345,121 @@ class Processor:
             if self.on_halt is not None:
                 self.on_halt(ctx, now)
 
+    def _try_burst(self, ctx, now):
+        """Dispatch a precompiled straight-line burst, if legal at ``now``.
+
+        Legality mirrors what per-cycle stepping would observe over the
+        window ``[now, now + duration)``:
+
+        * the context's PC heads a precompiled burst and no redirect
+          bubble is pending;
+        * the window fits under :attr:`burst_limit` (the advance loop's
+          horizon / next scheduler interrupt);
+        * this context is the *sole runner* for the whole window — no
+          other context is RUNNING or DOOMED, none wakes before the
+          window ends, and (on machines with external wakes) none is
+          parked on a lock/barrier that another processor could release
+          mid-window;
+        * every live-in register is ready early enough that the
+          precomputed schedule is exact (scoreboard guard);
+        * every instruction line of the run is present in the I-cache
+          (checked last: the hit counters are bumped only on success).
+
+        On success the whole run is executed functionally, the
+        scoreboard and stats take one bulk update each, and the
+        processor is busy until ``now + duration``.
+        """
+        burst = ctx.burst_table[ctx.state.pc]
+        if burst is None or now < ctx.next_issue_min:
+            return False
+        end = now + burst.duration
+        if end > self.burst_limit:
+            return False
+        extern = self.extern_wakes
+        for other in self.contexts:
+            if other is ctx:
+                continue
+            status = other.status
+            if status is Status.WAITING:
+                if other.wake_at < end or (extern and
+                                           other.wake_at >= NEVER):
+                    return False
+            elif status is Status.RUNNING or status is Status.DOOMED:
+                return False
+        if not self.scoreboard.can_dispatch_burst(ctx.cid, burst, now):
+            return False
+        pc = ctx.state.pc
+        fetch_addr = ctx.program.code_base + 4 * pc
+        already = 1 if (ctx.fetch_valid and ctx.fetch_pc == pc) else 0
+        if not self.memsys.inst_run_hits(fetch_addr, burst.n, already):
+            return False
+        state = ctx.state
+        memory = self.memory
+        for inst in burst.instructions:
+            execute(state, inst, memory)
+        self.scoreboard.apply_burst(ctx.cid, now, burst.writes_out)
+        stats = self.stats
+        n = burst.n
+        stats.add(Stall.BUSY, n)
+        if burst.short_stalls:
+            stats.add(Stall.INST_SHORT, burst.short_stalls)
+        if burst.long_stalls:
+            stats.add(Stall.INST_LONG, burst.long_stalls)
+        stats.issued += n
+        stats.retired += n
+        ctx.run_instructions += n
+        if ctx.process is not None:
+            ctx.process.retired += n
+        ctx.fetch_valid = False
+        self.burst_until = end
+        return True
+
+    def _skip_stall_window(self, ctx, now, until, kind):
+        """Bulk-charge a hazard-stall window (burst engine only).
+
+        While the stalled context is the sole runner nothing can touch
+        the scoreboard before ``until``, so every stall slot naive
+        stepping would charge over ``[now, until)`` is known now: the
+        data-cache category for a miss-pending register, otherwise the
+        short/long split of the closing gap.  Charges the window (capped
+        at :attr:`burst_limit`) in one bulk-add and marks the processor
+        busy to its end; returns False — leaving the per-cycle charge to
+        the caller — when the window is trivial or another context could
+        run or wake inside it.
+        """
+        tgt = until if until <= self.burst_limit else self.burst_limit
+        if tgt <= now + 1:
+            return False
+        extern = self.extern_wakes
+        for other in self.contexts:
+            if other is ctx:
+                continue
+            status = other.status
+            if status is Status.WAITING:
+                if other.wake_at < tgt or (extern and
+                                           other.wake_at >= NEVER):
+                    return False
+            elif status is Status.RUNNING or status is Status.DOOMED:
+                return False
+        n = tgt - now
+        stats = self.stats
+        if kind == "memory":
+            stats.add(Stall.DCACHE, n)
+        else:
+            # Cycle t of the window stalls short when until - t is at
+            # most the threshold, long before that.
+            long_ = until - self.pp.short_stall_threshold - now
+            if long_ > n:
+                long_ = n
+            if long_ > 0:
+                stats.add(Stall.INST_LONG, long_)
+                if n > long_:
+                    stats.add(Stall.INST_SHORT, n - long_)
+            else:
+                stats.add(Stall.INST_SHORT, n)
+        self.burst_until = tgt
+        return True
+
     def _try_issue(self, ctx, now):
         stats = self.stats
         if now < ctx.next_issue_min:
@@ -350,6 +487,9 @@ class Processor:
         # Register / functional-unit hazards.
         until, kind = self.scoreboard.hazard_until(ctx.cid, inst, now)
         if until > now:
+            if self.burst_enabled and self._skip_stall_window(
+                    ctx, now, until, kind):
+                return
             if kind == "memory":
                 stats.add(Stall.DCACHE)
             elif until - now <= self.pp.short_stall_threshold:

@@ -67,12 +67,14 @@ class WorkstationSimulator:
                  restart_halted=True, engine="events"):
         if not processes:
             raise ValueError("need at least one process")
-        if engine not in ("events", "naive"):
-            raise ValueError("engine must be 'events' or 'naive', not %r"
-                             % (engine,))
+        if engine not in ("events", "naive", "burst"):
+            raise ValueError(
+                "engine must be 'events', 'naive' or 'burst', not %r"
+                % (engine,))
         #: "events" fast-forwards idle windows via the next_event_cycle
-        #: protocol; "naive" steps every cycle and is the reference the
-        #: event engine must match bit for bit.
+        #: protocol; "burst" additionally retires precompiled straight-
+        #: line runs in one step; "naive" steps every cycle and is the
+        #: reference both fast engines must match bit for bit.
         self.engine = engine
         self.config = config if config is not None else SystemConfig.fast()
         self.seed = seed
@@ -93,6 +95,12 @@ class WorkstationSimulator:
         self.processor = Processor(scheme, n_contexts,
                                    self.config.pipeline, self.memsys,
                                    self.memory, sync=self.sync)
+        if engine == "burst":
+            # Precompiled schedules assume the single-issue pipeline;
+            # the Section 7 multi-issue extension simply never
+            # dispatches bursts (the loop degrades to the event engine).
+            self.processor.burst_enabled = \
+                self.config.pipeline.issue_width == 1
         if restart_halted:
             self.processor.on_halt = self._restart_process
         self.rng = random.Random(seed)
@@ -204,6 +212,8 @@ class WorkstationSimulator:
     def _advance(self, end):
         if self.engine == "naive":
             self._advance_naive(end)
+        elif self.engine == "burst":
+            self._advance_burst(end)
         else:
             self._advance_events(end)
 
@@ -263,6 +273,55 @@ class WorkstationSimulator:
                         continue
             check_idle = proc.step(now)
             now += 1
+            if not check_idle and proc.stall_until > now:
+                check_idle = True
+        self.now = now
+
+    def _advance_burst(self, end):
+        """Burst engine: event fast-forward plus one-step burst retire.
+
+        The event loop with one extra fast path: when ``step`` dispatched
+        a precompiled burst the processor is busy — and fully accounted —
+        until ``burst_until``, so the clock jumps straight there.
+        ``burst_limit`` keeps any dispatch inside both the advance window
+        and the current time slice, so scheduler interrupts fire on
+        exactly the cycle naive stepping would fire them.
+        """
+        proc = self.processor
+        now = self.now
+        slice_len = self.config.os.time_slice
+        next_interrupt = ((now // slice_len) + 1) * slice_len
+        proc.burst_limit = min(end, next_interrupt)
+        check_idle = True
+        while now < end:
+            if now >= next_interrupt:
+                self._scheduler_interrupt()
+                next_interrupt += slice_len
+                proc.burst_limit = min(end, next_interrupt)
+                check_idle = True
+            if check_idle:
+                idle = proc.idle_until(now)
+                if idle is not None:
+                    wake, reason = idle
+                    if wake is None:
+                        if reason is Stall.IDLE:
+                            proc.skip_idle(now, end, Stall.IDLE)
+                            now = end
+                            break
+                        raise SimulationDeadlock(
+                            "all contexts blocked on %s with nothing "
+                            "running" % reason.name)
+                    target = min(wake, end, next_interrupt)
+                    if target > now:
+                        proc.skip_idle(now, target, reason)
+                        now = target
+                        continue
+            check_idle = proc.step(now)
+            if proc.burst_until > now:
+                now = proc.burst_until
+                check_idle = False
+            else:
+                now += 1
             if not check_idle and proc.stall_until > now:
                 check_idle = True
         self.now = now

@@ -125,6 +125,29 @@ def _sweep(ctx, args):
     return report
 
 
+def _write_profile(profiler, path):
+    """Persist a cProfile run: raw pstats dump plus a readable summary.
+
+    The dump loads into ``pstats``/``snakeviz`` for interactive digging;
+    the ``.txt`` sidecar holds the top 25 functions by cumulative time
+    for a quick look without any tooling.
+    """
+    import io
+    import pstats
+    directory = os.path.dirname(path)
+    if directory:
+        os.makedirs(directory, exist_ok=True)
+    profiler.dump_stats(path)
+    stream = io.StringIO()
+    pstats.Stats(path, stream=stream).strip_dirs() \
+        .sort_stats("cumulative").print_stats(25)
+    summary_path = path + ".txt"
+    with open(summary_path, "w") as fh:
+        fh.write(stream.getvalue())
+    print("profile: %s (summary: %s)" % (path, summary_path),
+          file=sys.stderr)
+
+
 def _cache_admin(args):
     from repro.experiments.cache import ResultCache
     cache = ResultCache(args.cache_dir)
@@ -190,6 +213,20 @@ def main(argv=None):
                         help="uniprocessor measurement window, cycles")
     parser.add_argument("--warmup", type=int, default=None,
                         help="uniprocessor warmup, cycles")
+    parser.add_argument("--engine", choices=("events", "naive", "burst"),
+                        default="events",
+                        help="simulation engine for every computed point "
+                             "(bit-identical by contract: naive is the "
+                             "per-cycle reference, events fast-forwards "
+                             "idle windows, burst additionally retires "
+                             "precompiled straight-line runs in one step)")
+    parser.add_argument("--cprofile", nargs="?", metavar="PATH",
+                        const=os.path.join("results", "profile.pstats"),
+                        default=None,
+                        help="wrap the whole run in cProfile; writes the "
+                             "pstats dump to PATH (default "
+                             "results/profile.pstats) and a top-25 "
+                             "cumulative summary to PATH.txt")
     parser.add_argument("--seed", type=int, default=1994)
     parser.add_argument("--jobs", type=int,
                         default=os.cpu_count() or 1,
@@ -217,7 +254,8 @@ def main(argv=None):
     from repro.config import SystemConfig, MultiprocessorParams
     config = (SystemConfig.paper() if args.profile == "paper"
               else SystemConfig.fast())
-    kwargs = {"config": config, "seed": args.seed}
+    kwargs = {"config": config, "seed": args.seed,
+              "engine": args.engine}
     if args.nodes is not None:
         kwargs["mp_params"] = MultiprocessorParams(n_nodes=args.nodes)
     if args.measure is not None:
@@ -230,13 +268,24 @@ def main(argv=None):
                               or args.cache_dir is not None):
         kwargs["cache"] = ResultCache(args.cache_dir)
     ctx = ExperimentContext(**kwargs)
+    profiler = None
+    if args.cprofile is not None:
+        import cProfile
+        profiler = cProfile.Profile()
     t0 = time.time()
-    if args.experiment == "sweep":
-        _sweep(ctx, args)
-    elif args.experiment == "all":
-        _render_everything(ctx)
-    else:
-        EXPERIMENTS[args.experiment](ctx)
+    if profiler is not None:
+        profiler.enable()
+    try:
+        if args.experiment == "sweep":
+            _sweep(ctx, args)
+        elif args.experiment == "all":
+            _render_everything(ctx)
+        else:
+            EXPERIMENTS[args.experiment](ctx)
+    finally:
+        if profiler is not None:
+            profiler.disable()
+            _write_profile(profiler, args.cprofile)
     print("\n[%.1f s]" % (time.time() - t0), file=sys.stderr)
     return 0
 

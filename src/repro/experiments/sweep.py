@@ -76,20 +76,22 @@ def _cost_rank(point):
 
 
 def _compute_point_state(kind, name, scheme, n_contexts, config,
-                         mp_params, seed, warmup, measure):
+                         mp_params, seed, warmup, measure,
+                         engine="events"):
     """Worker entry: compute one point, return its serialised state.
 
     Runs in a forked/spawned process; must only touch its arguments.
     """
     if kind == "uniproc":
         result, _ = runner_mod.compute_uniproc(
-            name, scheme, n_contexts, config, seed, warmup, measure)
+            name, scheme, n_contexts, config, seed, warmup, measure,
+            engine=engine)
     elif kind == "dedicated":
         result = runner_mod.compute_dedicated(
-            name, config, seed, warmup, measure)
+            name, config, seed, warmup, measure, engine=engine)
     elif kind == "mp":
         result = runner_mod.compute_mp(name, scheme, n_contexts,
-                                       mp_params, seed)
+                                       mp_params, seed, engine=engine)
     else:
         raise ValueError("unknown point kind %r" % kind)
     return cache_mod.SERIALIZERS[kind][0](result)
@@ -167,7 +169,8 @@ class SweepEngine:
         else:
             warmup, measure = ctx.warmup, ctx.measure
         return (point.kind, point.name, point.scheme, point.n_contexts,
-                ctx.config, ctx.mp_params, ctx.seed, warmup, measure)
+                ctx.config, ctx.mp_params, ctx.seed, warmup, measure,
+                ctx.engine)
 
     def _store(self, point, state):
         """Cache + memoise one worker-computed state dict."""

@@ -61,11 +61,30 @@ class Program:
         self.data = data
         self.code_base = code_base
         self.entry = entry
+        # Burst tables (repro.isa.segments), memoised per stall
+        # threshold; built on demand so naive/event-engine runs never
+        # pay the segmentation cost.
+        self._burst_tables = {}
         for i, inst in enumerate(instructions):
             inst.index = i
 
     def __len__(self):
         return len(self.instructions)
+
+    def bursts_for(self, short_stall_threshold):
+        """Burst-per-entry-PC table for the burst engine (memoised).
+
+        The schedule depends only on the static Table 3 latencies and
+        the pipeline's short/long stall split, so one table per
+        threshold serves every processor and context running this
+        program.
+        """
+        table = self._burst_tables.get(short_stall_threshold)
+        if table is None:
+            from repro.isa.segments import build_burst_table
+            table = build_burst_table(self, short_stall_threshold)
+            self._burst_tables[short_stall_threshold] = table
+        return table
 
     def pc_address(self, index):
         """Byte address of the instruction at ``index``."""

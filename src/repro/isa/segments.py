@@ -1,0 +1,162 @@
+"""Straight-line burst segmentation (the burst engine's compile step).
+
+The paper's central statistic — run length between long-latency events
+(Figures 6/8, Table 7) — says most issued instructions sit in long,
+perfectly predictable straight-line runs.  The burst engine exploits
+this: at program load each program is segmented into *bursts*, maximal
+straight-line runs whose complete issue schedule can be computed ahead
+of time, so the processor can retire a whole burst with one scoreboard
+bulk-update and one stats bulk-add instead of N per-cycle issue trips.
+
+An instruction is *burstable* when its timing depends only on register
+ready-times established before or inside the run:
+
+* no control transfer (a branch might leave the run, and touches the
+  BTB and the mispredict-redirect machinery);
+* no memory operation, prefetch, or synchronisation op (their timing
+  depends on dynamic cache/MSHR/lock state);
+* no non-pipelined functional unit (integer multiply/divide, FP divide
+  impose cross-context structural hazards through shared ``fu_busy``
+  state that a per-context precomputed schedule cannot see);
+* not HALT (it retires the context).
+
+Within a burst the only hazards are register dependencies with the
+Table 3 latencies, all of which are known statically.  The schedule is
+computed *assuming every live-in register is ready*; the runtime guard
+(:attr:`Burst.guard`) lists, per live-in register, the latest scoreboard
+ready-time under which that assumption reproduces the per-cycle loop
+exactly — if any live-in is later than its slack, the processor falls
+back to ordinary per-issue stepping, which handles the hazard (and its
+stall attribution) the slow way.
+
+Because control flow can enter a run at any instruction (branch targets,
+post-squash re-issue, JR), a burst is built for *every suffix* of every
+maximal run, keyed by entry PC.
+"""
+
+from repro.isa.opcodes import Op, FU
+from repro.isa.instruction import KIND_PLAIN
+
+#: Units whose structural (cross-context, shared ``fu_busy``) hazards a
+#: per-context precomputed schedule cannot resolve.
+_NON_PIPELINED = (FU.MULDIV, FU.FPDIV)
+
+#: Shortest run worth a burst dispatch: below this the guard overhead
+#: exceeds the per-issue work saved.
+MIN_BURST = 2
+
+
+class Burst:
+    """One precompiled straight-line segment starting at ``start``.
+
+    ``duration`` is the number of cycles the burst occupies on a
+    single-issue pipeline (issue slots plus interleaved hazard-stall
+    slots); dispatching at cycle T retires all ``n`` instructions and
+    leaves the processor due again at ``T + duration``.
+
+    ``guard`` is a tuple of ``(reg, slack)`` pairs: the burst may only
+    be dispatched at cycle T when every live-in register satisfies
+    ``reg_ready[reg] <= T + slack`` (slack is the relative cycle of the
+    register's first use, so an earlier ready-time can never change the
+    schedule or the stall attribution).
+
+    ``writes_out`` is a tuple of ``(reg, delta)`` pairs describing the
+    scoreboard bulk-update: after a dispatch at T, ``reg_ready[reg] =
+    T + delta`` (the final in-burst write's completion time).
+    """
+
+    __slots__ = ("start", "n", "instructions", "duration",
+                 "short_stalls", "long_stalls", "guard", "writes_out")
+
+    def __init__(self, start, instructions, duration, short_stalls,
+                 long_stalls, guard, writes_out):
+        self.start = start
+        self.instructions = instructions
+        self.n = len(instructions)
+        self.duration = duration
+        self.short_stalls = short_stalls
+        self.long_stalls = long_stalls
+        self.guard = guard
+        self.writes_out = writes_out
+
+    def __repr__(self):
+        return ("<Burst pc=%d n=%d duration=%d stalls=%d/%d>"
+                % (self.start, self.n, self.duration,
+                   self.short_stalls, self.long_stalls))
+
+
+def burstable(inst):
+    """True when ``inst`` may be part of a precompiled burst."""
+    return (inst.kind == KIND_PLAIN
+            and inst.op is not Op.HALT
+            and inst.info.unit not in _NON_PIPELINED)
+
+
+def schedule_burst(instructions, start, threshold):
+    """Precompute the issue schedule of one straight-line run.
+
+    Replays exactly what the per-cycle loop would do for this run on a
+    single-issue pipeline with all live-in registers ready: each cycle
+    either issues the next instruction or charges one hazard-stall slot,
+    with the naive loop's category split (remaining gap of at most
+    ``threshold`` cycles -> short instruction stall, else long).
+    """
+    rel_ready = {}      # reg -> relative ready cycle of its last write
+    guard = {}          # live-in reg -> first-attempt relative cycle
+    now = 0
+    short = long_ = 0
+    for inst in instructions:
+        attempt = now
+        until = now
+        for r in inst.reads:
+            t = rel_ready.get(r)
+            if t is None:
+                guard.setdefault(r, attempt)
+            elif t > until:
+                until = t
+        w = inst.writes
+        if w >= 0:
+            t = rel_ready.get(w)
+            if t is None:
+                guard.setdefault(w, attempt)
+            else:
+                t -= inst.info.latency
+                if t > until:
+                    until = t
+        while now < until:
+            if until - now <= threshold:
+                short += 1
+            else:
+                long_ += 1
+            now += 1
+        if w >= 0:
+            rel_ready[w] = now + inst.info.latency
+        now += 1
+    return Burst(start, tuple(instructions), now, short, long_,
+                 tuple(sorted(guard.items())),
+                 tuple(sorted(rel_ready.items())))
+
+
+def build_burst_table(program, threshold):
+    """Burst-per-entry-PC table for ``program``.
+
+    Returns a list the length of the program; entry ``pc`` is the
+    :class:`Burst` covering the straight-line run from ``pc`` to the
+    next non-burstable instruction, or None when that run is shorter
+    than :data:`MIN_BURST`.
+    """
+    insts = program.instructions
+    n = len(insts)
+    table = [None] * n
+    i = 0
+    while i < n:
+        if not burstable(insts[i]):
+            i += 1
+            continue
+        j = i
+        while j < n and burstable(insts[j]):
+            j += 1
+        for s in range(i, j - MIN_BURST + 1):
+            table[s] = schedule_burst(insts[s:j], s, threshold)
+        i = j
+    return table

@@ -185,6 +185,29 @@ class MemorySystem:
             self._miss_path(self.l1i, next_line, now, is_inst=True)
         return AccessResult(level, ready)
 
+    def inst_run_hits(self, addr, n_insts, already_fetched):
+        """Probe a straight-line fetch run of ``n_insts`` instructions.
+
+        Burst-engine fetch guard: returns True — and bulk-counts the
+        I-cache hits — only when every line the run touches is already
+        present, so the run cannot stall the front end.  A False return
+        leaves all statistics untouched (the caller falls back to
+        per-instruction fetch, which handles the miss the usual way).
+        ``already_fetched`` is 1 when the first instruction's fetch was
+        already counted this instance (the once-per-instruction fetch
+        caching of the per-issue path), else 0.
+        """
+        l1i = self.l1i
+        line_size = self.params.l1i.line_size
+        line = l1i.line_addr(addr)
+        last = l1i.line_addr(addr + 4 * (n_insts - 1))
+        while line <= last:
+            if not l1i.present(line):
+                return False
+            line += line_size
+        l1i.hits += n_insts - already_fetched
+        return True
+
     def next_event_cycle(self, now):
         """Earliest future cycle any hierarchy component changes state.
 

@@ -15,6 +15,12 @@ scoreboard, at issue granularity:
 * output (WAW) dependencies delay issue until the write completes in
   order; anti (WAR) dependencies cannot occur at issue granularity since
   operands are captured at issue.
+
+Register state is kept in flat arrays indexed ``(ctx_id << 6) | reg``
+(one int list for ready-times, one bytearray for the miss-pending
+flags): one index computation replaces the per-access inner-list lookup
+on the hot path, and the burst engine's bulk updates write straight
+into the flat arrays.
 """
 
 from repro.isa.opcodes import FU
@@ -22,19 +28,23 @@ from repro.isa.opcodes import FU
 #: Units that are not pipelined and therefore block subsequent issues.
 _NON_PIPELINED = (FU.MULDIV, FU.FPDIV)
 
+#: Registers per hardware context in the flat arrays (32 int + 32 fp).
+_REGS = 64
+
 
 class Scoreboard:
     """Register and functional-unit hazard tracking for all contexts."""
 
-    __slots__ = ("reg_ready", "reg_mem", "fu_busy")
+    __slots__ = ("n_contexts", "reg_ready", "reg_mem", "fu_busy")
 
     def __init__(self, n_contexts):
-        # reg_ready[ctx][reg] = first cycle the register value is usable.
-        self.reg_ready = [[0] * 64 for _ in range(n_contexts)]
-        # reg_mem[ctx][reg] = the pending value comes from a cache miss
-        # (stall-on-use); consumers charge their wait to the data-cache
-        # category rather than to a pipeline dependency.
-        self.reg_mem = [bytearray(64) for _ in range(n_contexts)]
+        self.n_contexts = n_contexts
+        # reg_ready[ctx << 6 | reg] = first cycle the value is usable.
+        self.reg_ready = [0] * (_REGS * n_contexts)
+        # reg_mem[ctx << 6 | reg] = the pending value comes from a cache
+        # miss (stall-on-use); consumers charge their wait to the
+        # data-cache category rather than to a pipeline dependency.
+        self.reg_mem = bytearray(_REGS * n_contexts)
         self.fu_busy = [0] * (max(FU) + 1)
 
     def hazard_until(self, ctx_id, inst, now):
@@ -45,24 +55,25 @@ class Scoreboard:
         waiting on an outstanding cache miss, ``"structural"`` for a busy
         functional unit, or None when the instruction can issue at ``now``.
         """
-        ready = self.reg_ready[ctx_id]
-        mem = self.reg_mem[ctx_id]
+        base = ctx_id << 6
+        ready = self.reg_ready
+        mem = self.reg_mem
         latest = now
         kind = None
         for r in inst.reads:
-            t = ready[r]
+            t = ready[base + r]
             if t > latest:
                 latest = t
-                kind = "memory" if mem[r] else "data"
+                kind = "memory" if mem[base + r] else "data"
         w = inst.writes
         if w >= 0:
             # In-order (output-dependency-safe) write: this write must not
             # complete before an older, longer-latency write to the same
             # register.
-            t = ready[w] - inst.info.latency
+            t = ready[base + w] - inst.info.latency
             if t > latest:
                 latest = t
-                kind = "memory" if mem[w] else "data"
+                kind = "memory" if mem[base + w] else "data"
         unit = inst.info.unit
         if unit in _NON_PIPELINED:
             t = self.fu_busy[unit]
@@ -77,16 +88,46 @@ class Scoreboard:
         """Commit the issue of ``inst`` at cycle ``now``."""
         w = inst.writes
         if w >= 0:
-            self.reg_ready[ctx_id][w] = now + inst.info.latency
-            self.reg_mem[ctx_id][w] = 0
+            idx = (ctx_id << 6) + w
+            self.reg_ready[idx] = now + inst.info.latency
+            self.reg_mem[idx] = 0
         unit = inst.info.unit
         if unit in _NON_PIPELINED:
             self.fu_busy[unit] = now + inst.info.issue
 
+    def apply_burst(self, ctx_id, now, writes_out):
+        """Bulk-commit a precompiled burst dispatched at cycle ``now``.
+
+        ``writes_out`` is the burst's ``(reg, delta)`` schedule: the
+        final in-burst write to ``reg`` completes at ``now + delta``.
+        Equivalent to calling :meth:`issue` for every instruction of the
+        burst (bursts never touch non-pipelined units, so ``fu_busy`` is
+        untouched by construction).
+        """
+        base = ctx_id << 6
+        ready = self.reg_ready
+        mem = self.reg_mem
+        for reg, delta in writes_out:
+            idx = base + reg
+            ready[idx] = now + delta
+            mem[idx] = 0
+
+    def can_dispatch_burst(self, ctx_id, burst, now):
+        """True when every live-in register of ``burst`` is ready early
+        enough that the precompiled schedule is exact (see
+        :class:`repro.isa.segments.Burst`)."""
+        base = ctx_id << 6
+        ready = self.reg_ready
+        for reg, slack in burst.guard:
+            if ready[base + reg] > now + slack:
+                return False
+        return True
+
     def set_ready(self, ctx_id, reg, cycle, memory=False):
         """Override a register's ready time (used for load-miss returns)."""
-        self.reg_ready[ctx_id][reg] = cycle
-        self.reg_mem[ctx_id][reg] = 1 if memory else 0
+        idx = (ctx_id << 6) + reg
+        self.reg_ready[idx] = cycle
+        self.reg_mem[idx] = 1 if memory else 0
 
     def clear_context(self, ctx_id):
         """Forget all pending results of a context.
@@ -97,7 +138,9 @@ class Scoreboard:
         keep completing during the memory wait, and the squashed younger
         instructions never touched the scoreboard in the first place.
         """
-        ready = self.reg_ready[ctx_id]
-        for i in range(64):
+        base = ctx_id << 6
+        ready = self.reg_ready
+        mem = self.reg_mem
+        for i in range(base, base + _REGS):
             ready[i] = 0
-        self.reg_mem[ctx_id] = bytearray(64)
+            mem[i] = 0

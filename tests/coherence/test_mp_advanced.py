@@ -21,7 +21,9 @@ class TestMultiIssueMP:
             sim = MultiprocessorSimulator(app, scheme="interleaved",
                                           n_contexts=2, params=params,
                                           pipeline=pp)
-            results[width] = sim.run_to_completion().cycles
+            run = sim.run()
+            assert run.completed
+            results[width] = run.cycles
         assert results[2] <= results[1]
 
     def test_width_helps_dependency_bound_app(self):
@@ -35,7 +37,9 @@ class TestMultiIssueMP:
             sim = MultiprocessorSimulator(app, scheme="interleaved",
                                           n_contexts=4, params=params,
                                           pipeline=pp)
-            results[width] = sim.run_to_completion().cycles
+            run = sim.run()
+            assert run.completed
+            results[width] = run.cycles
         assert results[4] < results[1]
 
 
@@ -47,7 +51,9 @@ class TestGlobalIdleSkip:
         app = build_app("cholesky", n_threads=2, scale=0.25)
         sim = MultiprocessorSimulator(app, scheme="single",
                                       n_contexts=1, params=params)
-        result = sim.run_to_completion()
+        run = sim.run()
+        assert run.completed
+        result = run.raw
         # cholesky serialises: plenty of global idle to skip.
         for node_stats in result.node_stats:
             assert node_stats.total_cycles == result.cycles
@@ -60,7 +66,9 @@ class TestGlobalIdleSkip:
             sim = MultiprocessorSimulator(app, scheme="single",
                                           n_contexts=1, params=params,
                                           seed=9)
-            runs.append(sim.run_to_completion().cycles)
+            run = sim.run()
+            assert run.completed
+            runs.append(run.cycles)
         assert runs[0] == runs[1]
 
 
@@ -92,4 +100,4 @@ class TestDeadlockDetection:
             app, scheme="single", n_contexts=1,
             params=MultiprocessorParams(n_nodes=2))
         with pytest.raises(SimulationDeadlock):
-            sim.run_to_completion(max_cycles=100_000)
+            sim.run(until=100_000)

@@ -15,7 +15,9 @@ def simulate(app_name="ocean", scheme="single", n_contexts=1, n_nodes=2,
     sim = MultiprocessorSimulator(app, scheme=scheme,
                                   n_contexts=n_contexts, params=params,
                                   seed=seed)
-    return sim, sim.run_to_completion(max_cycles=10_000_000)
+    run = sim.run(until=10_000_000)
+    assert run.completed
+    return sim, run.raw
 
 
 class TestCompletion:
@@ -30,13 +32,12 @@ class TestCompletion:
         with pytest.raises(ValueError):
             MultiprocessorSimulator(app, n_contexts=1, params=params)
 
-    def test_timeout_raises(self):
-        sim, _ = None, None
+    def test_incomplete_run_reports_not_completed(self):
         params = MultiprocessorParams(n_nodes=2)
         app = build_app("ocean", n_threads=2, scale=0.5)
         sim = MultiprocessorSimulator(app, params=params)
-        with pytest.raises(RuntimeError):
-            sim.run_to_completion(max_cycles=100)
+        result = sim.run(until=100)
+        assert result.completed is False
 
 
 class TestResults:

@@ -66,7 +66,7 @@ class TestWorkstationDeadlock:
         sim.sync.try_acquire(lock_addr, "phantom",
                              HardwareContext(9))
         with pytest.raises(SimulationDeadlock):
-            sim.run(50_000)
+            sim.run(until=50_000)
         del holder
 
 

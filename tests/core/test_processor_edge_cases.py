@@ -196,6 +196,6 @@ class TestProcessSwapHygiene:
         procs = [looping("a", 0, True), looping("b", 1, False)]
         sim = WorkstationSimulator(procs, scheme="single", n_contexts=1,
                                    config=cfg)
-        sim.run(20_000)
+        sim.run(until=20_000)
         assert procs[0].retired > 0
         assert procs[1].retired > 0

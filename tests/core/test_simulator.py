@@ -129,7 +129,7 @@ class TestRestartOnHalt:
         p = spin_process("a", 0, n=10, halt_after_one=True)
         sim = WorkstationSimulator([p], scheme="single", n_contexts=1,
                                    config=fast_config())
-        sim.run(5_000)
+        sim.run(until=5_000)
         assert p.completions > 10
 
     def test_restart_disabled(self):
@@ -137,6 +137,6 @@ class TestRestartOnHalt:
         sim = WorkstationSimulator([p], scheme="single", n_contexts=1,
                                    config=fast_config(),
                                    restart_halted=False)
-        sim.run(5_000)
+        sim.run(until=5_000)
         assert p.completions == 0
         assert p.state.halted

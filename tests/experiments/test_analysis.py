@@ -29,8 +29,9 @@ def mp_run():
     app = build_app("water", n_threads=4, threads_per_node=2, scale=0.5)
     sim = MultiprocessorSimulator(app, scheme="interleaved",
                                   n_contexts=2, params=params)
-    result = sim.run_to_completion()
-    return sim, result
+    run = sim.run()
+    assert run.completed
+    return sim, run.raw
 
 
 class TestWorkstationAnalysis:

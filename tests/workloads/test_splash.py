@@ -46,7 +46,8 @@ def run_app(name, n_threads, n_contexts=1, scheme="single", scale=0.25,
     sim = MultiprocessorSimulator(app, scheme=scheme,
                                   n_contexts=n_contexts, params=params,
                                   seed=seed)
-    result = sim.run_to_completion(max_cycles=10_000_000)
+    result = sim.run(until=10_000_000)
+    assert result.completed
     return app, sim, result
 
 
