@@ -19,14 +19,17 @@ _MEASURE = 50_000
 _WARMUP = 10_000
 
 
-def _utilization(width, scheme, n_contexts):
+def _utilization(width, scheme, n_contexts, engine="burst"):
+    """One sweep point; burst engine by default — schedules are packed
+    per issue width, so the width sweep now runs on the fast path (all
+    engines are bit-identical, enforced by tests/differential)."""
     cfg = SystemConfig.fast()
     cfg = replace(cfg, pipeline=replace(cfg.pipeline, issue_width=width))
     procs, instances, barriers = build_workload("R1", scale=1.0)
     sim = WorkstationSimulator(procs, scheme=scheme,
                                n_contexts=n_contexts, config=cfg,
                                app_instances=instances,
-                               barriers=barriers)
+                               barriers=barriers, engine=engine)
     res = sim.measure(_MEASURE, warmup=_WARMUP)
     return res.stats.utilization(), res.total_ipc()
 

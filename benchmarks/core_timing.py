@@ -2,7 +2,8 @@
 
 Times identical runs under all three simulation engines and writes the
 wall-clock numbers plus the *speedup ratios* (``speedup`` =
-naive/events, ``burst_speedup`` = naive/burst) as JSON
+naive/events, ``burst_speedup`` = naive/burst,
+``burst_vs_events_speedup`` = events/burst) as JSON
 (``BENCH_core.json`` in CI).  The ratios are host-independent — the
 engines run in the same interpreter on the same machine — so CI can
 gate on them: checked-in baselines (``BENCH_core_baseline.json`` for
@@ -60,6 +61,13 @@ CASES = {
         warmup=10_000, measure=60_000),
     "compute_single_1": dict(
         kind="stream", scheme="single", n_contexts=1, until=330_000),
+    # The Section 7 multi-issue extension on the burst fast path: same
+    # compute-bound stream, dual-issue pipeline.  Gated on
+    # ``burst_vs_events_speedup`` — precompiled width-2 schedules must
+    # stay well ahead of per-cycle event stepping.
+    "compute_width2_1": dict(
+        kind="stream", scheme="single", n_contexts=1, until=330_000,
+        width=2),
 }
 
 
@@ -81,9 +89,11 @@ def _run_case(spec, engine):
             StreamSpec, build_stream_process)
         procs = [build_stream_process(StreamSpec(**_COMPUTE_SPEC),
                                       index=0)]
+        config = SystemConfig.fast().with_pipeline(
+            issue_width=spec.get("width", 1))
         sim = WorkstationSimulator(
             procs, scheme=spec["scheme"], n_contexts=spec["n_contexts"],
-            config=SystemConfig.fast(), seed=1994, engine=engine)
+            config=config, seed=1994, engine=engine)
         t0 = time.perf_counter()
         result = sim.run(until=spec["until"])
         elapsed = time.perf_counter() - t0
@@ -121,6 +131,7 @@ def run_cases():
             "burst_seconds": round(burst_s, 3),
             "speedup": round(naive_s / events_s, 3),
             "burst_speedup": round(naive_s / burst_s, 3),
+            "burst_vs_events_speedup": round(events_s / burst_s, 3),
         }
     return {
         "benchmark": "core_timing",

@@ -80,7 +80,7 @@ class MultiprocessorSimulator:
                              self.machine.memory, sync=self.sync,
                              proc_id=node_id)
             if engine == "burst":
-                proc.burst_enabled = self.pipeline.issue_width == 1
+                proc.burst_enabled = True
                 # Another node's lock release or barrier arrival can
                 # wake a context here mid-window, so burst dispatch must
                 # veto whenever such a wake is possible.

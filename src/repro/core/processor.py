@@ -96,7 +96,7 @@ class Processor:
         self.scoreboard.clear_context(slot)
         if self.burst_enabled:
             ctx.burst_table = process.program.bursts_for(
-                self.pp.short_stall_threshold)
+                self.pp.short_stall_threshold, self.pp.issue_width)
         return ctx
 
     def unload_process(self, slot):
@@ -147,12 +147,16 @@ class Processor:
                 if self.trace is not None:
                     self.trace(now, ctx, "squash")
                 continue
-            if (self.burst_enabled and self.trace is None
+            if (_slot == 0 and self.burst_enabled and self.trace is None
                     and self._try_burst(ctx, now)):
+                # A dispatched burst accounts every slot of every cycle
+                # in its window, including this cycle's.  (Dispatch is
+                # legal only at slot 0: the packed schedule starts at a
+                # cycle boundary.)
                 break
             retired_before = stats.retired
             squashed_before = stats.squashed
-            self._try_issue(ctx, now)
+            self._try_issue(ctx, now, width - _slot)
             if self.trace is not None:
                 if stats.squashed != squashed_before:
                     kind = "squash"   # the memory op's own doomed slot
@@ -161,6 +165,10 @@ class Processor:
                 else:
                     kind = "stall"
                 self.trace(now, ctx, kind)
+            if now < self.burst_until:
+                # _skip_stall_window opened a bulk-charged stall window
+                # covering this cycle's remaining slots.
+                break
             if now < self.stall_until:
                 # The slot froze the front end (I-miss / TLB refill /
                 # switch tail): the cycle's remaining slots are lost.
@@ -367,7 +375,13 @@ class Processor:
 
         On success the whole run is executed functionally, the
         scoreboard and stats take one bulk update each, and the
-        processor is busy until ``now + duration``.
+        processor is busy until ``now + duration``.  The burst's
+        schedule is packed for this pipeline's issue width (the table
+        is built per ``(threshold, width)``), so its stall counts
+        already cover every slot of every cycle in the window —
+        ``n + short + long == duration * width`` — and dispatch happens
+        only at slot 0 of a cycle, matching the packed schedule's
+        cycle-boundary start.
         """
         burst = ctx.burst_table[ctx.state.pc]
         if burst is None or now < ctx.next_issue_min:
@@ -414,15 +428,19 @@ class Processor:
         self.burst_until = end
         return True
 
-    def _skip_stall_window(self, ctx, now, until, kind):
+    def _skip_stall_window(self, ctx, now, until, kind, slots_left):
         """Bulk-charge a hazard-stall window (burst engine only).
 
         While the stalled context is the sole runner nothing can touch
         the scoreboard before ``until``, so every stall slot naive
         stepping would charge over ``[now, until)`` is known now: the
         data-cache category for a miss-pending register, otherwise the
-        short/long split of the closing gap.  Charges the window (capped
-        at :attr:`burst_limit`) in one bulk-add and marks the processor
+        short/long split of the closing gap.  ``slots_left`` is the
+        number of issue slots (this one included) remaining in cycle
+        ``now`` — the hazard wastes all of them, then ``issue_width``
+        slots of every later stall cycle, exactly as per-slot stepping
+        would charge.  Charges the window (capped at
+        :attr:`burst_limit`) in one bulk-add and marks the processor
         busy to its end; returns False — leaving the per-cycle charge to
         the caller — when the window is trivial or another context could
         run or wake inside it.
@@ -441,26 +459,30 @@ class Processor:
                     return False
             elif status is Status.RUNNING or status is Status.DOOMED:
                 return False
-        n = tgt - now
+        width = self.pp.issue_width
+        n = tgt - now                       # stall cycles charged
         stats = self.stats
         if kind == "memory":
-            stats.add(Stall.DCACHE, n)
+            stats.add(Stall.DCACHE, slots_left + (n - 1) * width)
         else:
             # Cycle t of the window stalls short when until - t is at
-            # most the threshold, long before that.
+            # most the threshold, long before that.  The first cycle
+            # contributes ``slots_left`` slots, every later one
+            # ``width``.
             long_ = until - self.pp.short_stall_threshold - now
             if long_ > n:
                 long_ = n
             if long_ > 0:
-                stats.add(Stall.INST_LONG, long_)
+                stats.add(Stall.INST_LONG,
+                          slots_left + (long_ - 1) * width)
                 if n > long_:
-                    stats.add(Stall.INST_SHORT, n - long_)
+                    stats.add(Stall.INST_SHORT, (n - long_) * width)
             else:
-                stats.add(Stall.INST_SHORT, n)
+                stats.add(Stall.INST_SHORT, slots_left + (n - 1) * width)
         self.burst_until = tgt
         return True
 
-    def _try_issue(self, ctx, now):
+    def _try_issue(self, ctx, now, slots_left=1):
         stats = self.stats
         if now < ctx.next_issue_min:
             # Redirect bubble after a branch mispredict.
@@ -488,7 +510,7 @@ class Processor:
         until, kind = self.scoreboard.hazard_until(ctx.cid, inst, now)
         if until > now:
             if self.burst_enabled and self._skip_stall_window(
-                    ctx, now, until, kind):
+                    ctx, now, until, kind, slots_left):
                 return
             if kind == "memory":
                 stats.add(Stall.DCACHE)

@@ -96,11 +96,10 @@ class WorkstationSimulator:
                                    self.config.pipeline, self.memsys,
                                    self.memory, sync=self.sync)
         if engine == "burst":
-            # Precompiled schedules assume the single-issue pipeline;
-            # the Section 7 multi-issue extension simply never
-            # dispatches bursts (the loop degrades to the event engine).
-            self.processor.burst_enabled = \
-                self.config.pipeline.issue_width == 1
+            # Schedules are packed per issue width (Program.bursts_for
+            # keys its memo on it), so the Section 7 multi-issue
+            # extension dispatches bursts too.
+            self.processor.burst_enabled = True
         if restart_halted:
             self.processor.on_halt = self._restart_process
         self.rng = random.Random(seed)

@@ -26,6 +26,11 @@ class FixedLatencyMemory:
     def inst_fetch(self, addr, now):
         return AccessResult("l1", now)
 
+    def inst_run_hits(self, addr, n_insts, already_fetched):
+        """Instruction fetches always hit, so a burst's run always
+        does (the burst engine's whole-run fetch probe)."""
+        return True
+
     def data_access(self, addr, is_write, now, requester=0):
         if addr in self.miss_addrs and addr not in self.serviced:
             self.serviced.add(addr)

@@ -61,9 +61,9 @@ class Program:
         self.data = data
         self.code_base = code_base
         self.entry = entry
-        # Burst tables (repro.isa.segments), memoised per stall
-        # threshold; built on demand so naive/event-engine runs never
-        # pay the segmentation cost.
+        # Burst tables (repro.isa.segments), memoised per
+        # (stall threshold, issue width); built on demand so
+        # naive/event-engine runs never pay the segmentation cost.
         self._burst_tables = {}
         for i, inst in enumerate(instructions):
             inst.index = i
@@ -71,19 +71,24 @@ class Program:
     def __len__(self):
         return len(self.instructions)
 
-    def bursts_for(self, short_stall_threshold):
+    def bursts_for(self, short_stall_threshold, issue_width=1):
         """Burst-per-entry-PC table for the burst engine (memoised).
 
-        The schedule depends only on the static Table 3 latencies and
-        the pipeline's short/long stall split, so one table per
-        threshold serves every processor and context running this
-        program.
+        The schedule depends only on the static Table 3 latencies, the
+        pipeline's short/long stall split, and the slot packing of its
+        issue width, so one table per ``(threshold, width)`` serves
+        every processor and context running this program.  The width
+        *must* key the memo: a width-2 schedule packs two slots per
+        cycle and its durations, stall splits, and write-out deltas are
+        all different from the width-1 schedule of the same run.
         """
-        table = self._burst_tables.get(short_stall_threshold)
+        key = (short_stall_threshold, issue_width)
+        table = self._burst_tables.get(key)
         if table is None:
             from repro.isa.segments import build_burst_table
-            table = build_burst_table(self, short_stall_threshold)
-            self._burst_tables[short_stall_threshold] = table
+            table = build_burst_table(self, short_stall_threshold,
+                                      issue_width)
+            self._burst_tables[key] = table
         return table
 
     def pc_address(self, index):

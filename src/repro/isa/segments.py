@@ -29,6 +29,18 @@ exactly — if any live-in is later than its slack, the processor falls
 back to ordinary per-issue stepping, which handles the hazard (and its
 stall attribution) the slow way.
 
+Schedules are packed for the processor's ``issue_width`` (the Section 7
+in-order multi-issue extension): each cycle offers ``width`` issue
+slots, consecutive ready instructions share a cycle, and a hazard
+wastes every remaining slot of its cycle — exactly the per-cycle loop's
+slot accounting.  A multi-issue schedule is only usable when it ends on
+a cycle boundary (otherwise the trailing slots of its final cycle would
+belong to whatever instruction follows the run, which the compile step
+cannot see), so the burst covers the longest prefix of the run whose
+last instruction issues in the final slot of its cycle; the tail is
+left to per-issue stepping — which typically redispatches it as the
+matching suffix burst one cycle later.
+
 Because control flow can enter a run at any instruction (branch targets,
 post-squash re-issue, JR), a burst is built for *every suffix* of every
 maximal run, keyed by entry PC.
@@ -50,9 +62,11 @@ class Burst:
     """One precompiled straight-line segment starting at ``start``.
 
     ``duration`` is the number of cycles the burst occupies on a
-    single-issue pipeline (issue slots plus interleaved hazard-stall
-    slots); dispatching at cycle T retires all ``n`` instructions and
-    leaves the processor due again at ``T + duration``.
+    ``width``-issue pipeline (issue slots plus hazard-stall slots packed
+    per the per-cycle loop's slot rules); dispatching at cycle T retires
+    all ``n`` instructions and leaves the processor due again at
+    ``T + duration``.  Every slot of the window is accounted:
+    ``n + short_stalls + long_stalls == duration * width``.
 
     ``guard`` is a tuple of ``(reg, slack)`` pairs: the burst may only
     be dispatched at cycle T when every live-in register satisfies
@@ -62,26 +76,28 @@ class Burst:
 
     ``writes_out`` is a tuple of ``(reg, delta)`` pairs describing the
     scoreboard bulk-update: after a dispatch at T, ``reg_ready[reg] =
-    T + delta`` (the final in-burst write's completion time).
+    T + delta`` (the final in-burst write's completion time, computed
+    against the packed multi-issue schedule).
     """
 
-    __slots__ = ("start", "n", "instructions", "duration",
+    __slots__ = ("start", "n", "instructions", "duration", "width",
                  "short_stalls", "long_stalls", "guard", "writes_out")
 
     def __init__(self, start, instructions, duration, short_stalls,
-                 long_stalls, guard, writes_out):
+                 long_stalls, guard, writes_out, width=1):
         self.start = start
         self.instructions = instructions
         self.n = len(instructions)
         self.duration = duration
+        self.width = width
         self.short_stalls = short_stalls
         self.long_stalls = long_stalls
         self.guard = guard
         self.writes_out = writes_out
 
     def __repr__(self):
-        return ("<Burst pc=%d n=%d duration=%d stalls=%d/%d>"
-                % (self.start, self.n, self.duration,
+        return ("<Burst pc=%d n=%d duration=%d width=%d stalls=%d/%d>"
+                % (self.start, self.n, self.duration, self.width,
                    self.short_stalls, self.long_stalls))
 
 
@@ -92,22 +108,32 @@ def burstable(inst):
             and inst.info.unit not in _NON_PIPELINED)
 
 
-def schedule_burst(instructions, start, threshold):
-    """Precompute the issue schedule of one straight-line run.
+def _pack(instructions, threshold, width):
+    """Pack a run into ``width`` issue slots per cycle.
 
-    Replays exactly what the per-cycle loop would do for this run on a
-    single-issue pipeline with all live-in registers ready: each cycle
-    either issues the next instruction or charges one hazard-stall slot,
-    with the naive loop's category split (remaining gap of at most
-    ``threshold`` cycles -> short instruction stall, else long).
+    Replays exactly what the per-cycle loop does for a sole-running
+    context with all live-in registers ready: each cycle offers
+    ``width`` slots; a slot either issues the next instruction or — when
+    the next instruction is hazarded — charges one stall slot, with the
+    naive loop's category split (remaining gap of at most ``threshold``
+    cycles -> short instruction stall, else long).  A hazard discovered
+    at slot ``s`` therefore stalls the remaining ``width - s`` slots of
+    its cycle, then ``width`` slots of every full stall cycle after it.
+
+    Returns ``(cycle, slot, short, long, guard, rel_ready, aligned)``
+    where ``(cycle, slot)`` is the position after the last issue and
+    ``aligned`` is the index just past the last instruction that issued
+    in the final slot of its cycle (the longest cycle-aligned prefix).
     """
     rel_ready = {}      # reg -> relative ready cycle of its last write
     guard = {}          # live-in reg -> first-attempt relative cycle
-    now = 0
+    cycle = 0
+    slot = 0
     short = long_ = 0
-    for inst in instructions:
-        attempt = now
-        until = now
+    aligned = 0
+    for index, inst in enumerate(instructions):
+        attempt = cycle
+        until = cycle
         for r in inst.reads:
             t = rel_ready.get(r)
             if t is None:
@@ -123,27 +149,62 @@ def schedule_burst(instructions, start, threshold):
                 t -= inst.info.latency
                 if t > until:
                     until = t
-        while now < until:
-            if until - now <= threshold:
-                short += 1
+        while cycle < until:
+            # Every remaining slot of a hazarded cycle stalls; the
+            # category is the cycle's remaining gap, as the naive loop
+            # charges it.
+            slots = width - slot
+            if until - cycle <= threshold:
+                short += slots
             else:
-                long_ += 1
-            now += 1
+                long_ += slots
+            cycle += 1
+            slot = 0
         if w >= 0:
-            rel_ready[w] = now + inst.info.latency
-        now += 1
-    return Burst(start, tuple(instructions), now, short, long_,
+            rel_ready[w] = cycle + inst.info.latency
+        slot += 1
+        if slot == width:
+            cycle += 1
+            slot = 0
+            aligned = index + 1
+    return cycle, slot, short, long_, guard, rel_ready, aligned
+
+
+def schedule_burst(instructions, start, threshold, width=1):
+    """Precompute the issue schedule of one straight-line run.
+
+    With ``width == 1`` the whole run is always schedulable.  With
+    ``width > 1`` the burst covers the longest prefix ending on a cycle
+    boundary (see module docstring); returns None when that prefix is
+    shorter than :data:`MIN_BURST` (the caller falls back to per-issue
+    stepping for this entry PC).
+    """
+    cycle, slot, short, long_, guard, rel_ready, aligned = _pack(
+        instructions, threshold, width)
+    if slot != 0:
+        # The run's last instruction does not fill its cycle: truncate
+        # to the aligned prefix and recompute its (prefix-stable)
+        # schedule, so stalls, guards, and write-outs describe exactly
+        # the retired instructions.
+        if aligned < MIN_BURST:
+            return None
+        instructions = instructions[:aligned]
+        cycle, slot, short, long_, guard, rel_ready, aligned = _pack(
+            instructions, threshold, width)
+        assert slot == 0, "aligned prefix must end on a cycle boundary"
+    return Burst(start, tuple(instructions), cycle, short, long_,
                  tuple(sorted(guard.items())),
-                 tuple(sorted(rel_ready.items())))
+                 tuple(sorted(rel_ready.items())), width)
 
 
-def build_burst_table(program, threshold):
+def build_burst_table(program, threshold, width=1):
     """Burst-per-entry-PC table for ``program``.
 
     Returns a list the length of the program; entry ``pc`` is the
     :class:`Burst` covering the straight-line run from ``pc`` to the
-    next non-burstable instruction, or None when that run is shorter
-    than :data:`MIN_BURST`.
+    next non-burstable instruction (truncated to a cycle-aligned prefix
+    when ``width > 1``), or None when that run is shorter than
+    :data:`MIN_BURST`.
     """
     insts = program.instructions
     n = len(insts)
@@ -157,6 +218,6 @@ def build_burst_table(program, threshold):
         while j < n and burstable(insts[j]):
             j += 1
         for s in range(i, j - MIN_BURST + 1):
-            table[s] = schedule_burst(insts[s:j], s, threshold)
+            table[s] = schedule_burst(insts[s:j], s, threshold, width)
         i = j
     return table

@@ -100,9 +100,13 @@ class Scoreboard:
 
         ``writes_out`` is the burst's ``(reg, delta)`` schedule: the
         final in-burst write to ``reg`` completes at ``now + delta``.
-        Equivalent to calling :meth:`issue` for every instruction of the
-        burst (bursts never touch non-pipelined units, so ``fu_busy`` is
-        untouched by construction).
+        The deltas come from the burst's packed schedule, so they are
+        already issue-width aware (a width-2 burst's issue cycles — and
+        hence its write completion deltas — differ from the width-1
+        packing of the same run).  Equivalent to calling :meth:`issue`
+        for every instruction of the burst (bursts never touch
+        non-pipelined units, so ``fu_busy`` is untouched by
+        construction).
         """
         base = ctx_id << 6
         ready = self.reg_ready
@@ -115,7 +119,11 @@ class Scoreboard:
     def can_dispatch_burst(self, ctx_id, burst, now):
         """True when every live-in register of ``burst`` is ready early
         enough that the precompiled schedule is exact (see
-        :class:`repro.isa.segments.Burst`)."""
+        :class:`repro.isa.segments.Burst`).  Guard slacks are the first
+        *attempt cycle* of each live-in in the packed schedule, so the
+        check is exact at any issue width: a register ready by its first
+        attempt cycle cannot change the schedule regardless of which
+        slot of that cycle the instruction issues in."""
         base = ctx_id << 6
         ready = self.reg_ready
         for reg, slack in burst.guard:

@@ -295,16 +295,17 @@ class TestRandomStreams:
 
 
 class TestEngineSelection:
-    def test_burst_disabled_on_multi_issue(self):
-        """Burst schedules assume single-issue; a wider pipeline must
-        silently fall back to per-issue stepping."""
+    def test_burst_enabled_on_multi_issue(self):
+        """Burst schedules are packed per issue width, so a wider
+        pipeline keeps the burst engine — and stays bit-identical to
+        naive stepping."""
         from dataclasses import replace
         cfg = SystemConfig.fast()
         cfg = replace(cfg, pipeline=replace(cfg.pipeline, issue_width=2))
         sim = Simulation.from_config(cfg, scheme="interleaved",
                                      n_contexts=2, seed=1994,
                                      engine="burst").load("DC")
-        assert sim.simulator.processor.burst_enabled is False
+        assert sim.simulator.processor.burst_enabled is True
         naive_sim = Simulation.from_config(cfg, scheme="interleaved",
                                            n_contexts=2, seed=1994,
                                            engine="naive").load("DC")

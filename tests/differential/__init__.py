@@ -1,0 +1,1 @@
+"""Cross-engine differential test harness (see harness.py)."""
