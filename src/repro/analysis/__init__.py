@@ -1,0 +1,45 @@
+"""Static analysis layer: program verifier, burst audit, codebase lint.
+
+Two halves (see ``docs/static-analysis.md`` for the rule catalog):
+
+* Program-side — :func:`verify_program` checks a decoded
+  :class:`~repro.isa.program.Program` (CFG structure, dataflow,
+  lock/barrier balance) and :func:`audit_bursts` re-derives the burst
+  engine's slot-packing invariants statically.  ``Program(strict=True)``
+  runs the cheap subset at load time.
+* Codebase-side — :func:`lint_codebase` runs the determinism and
+  stats-parity rules over ``src/repro`` itself.
+
+CLI: ``repro-experiments lint`` (or ``python -m repro.analysis.lint``
+for the codebase half alone).
+"""
+
+from repro.analysis.diagnostics import (Diagnostic, CATALOG, ERROR,
+                                        WARNING, has_errors,
+                                        render_report)
+from repro.analysis.cfg import ProgramCFG, EXIT
+from repro.analysis.verifier import (verify_program, program_fingerprint,
+                                     ProgramVerificationError)
+from repro.analysis.burst_audit import (audit_bursts, maximal_runs,
+                                        DEFAULT_WIDTHS)
+
+_LINT_EXPORTS = ("lint_codebase", "lint_file", "parse_allowlist")
+
+
+def __getattr__(name):
+    # Lazy: keeps `python -m repro.analysis.lint` (the pre-commit hook)
+    # from importing the module twice, and the strict-load hook from
+    # paying for the linter it never uses.
+    if name in _LINT_EXPORTS:
+        from repro.analysis import lint
+        return getattr(lint, name)
+    raise AttributeError("module %r has no attribute %r"
+                         % (__name__, name))
+
+__all__ = [
+    "Diagnostic", "CATALOG", "ERROR", "WARNING", "has_errors",
+    "render_report", "ProgramCFG", "EXIT", "verify_program",
+    "program_fingerprint", "ProgramVerificationError", "audit_bursts",
+    "maximal_runs", "DEFAULT_WIDTHS", "lint_codebase", "lint_file",
+    "parse_allowlist",
+]

@@ -1,0 +1,191 @@
+"""Static audit of the burst engine's precompiled schedules (B2xx).
+
+The burst engine's correctness rests on a handful of slot-packing
+invariants that :mod:`repro.isa.segments` promises (and the differential
+harness checks dynamically against the naive engine).  This module
+re-derives the *checkable* part symbolically from the burst tables a
+program would actually hand the engine — no simulator runs:
+
+* **Slot conservation** (B201): every slot of a burst's window is
+  accounted — ``n + short_stalls + long_stalls == duration * width``.
+  This is also exactly the "ends on a cycle boundary" alignment rule
+  for multi-issue bursts: a non-aligned schedule cannot conserve slots
+  with an integer duration.
+* **Issue-bandwidth bound** (B202): ``duration >= ceil(n / width)`` —
+  a width-w pipeline cannot retire more than w instructions per cycle.
+* **Guard-slack monotonicity** (B203): a register's guard slack is the
+  relative cycle of its first use; with more issue slots per cycle an
+  instruction can only issue *earlier*, so for any entry PC the slack
+  of a shared live-in register must be non-increasing in width.
+  (Truncation keeps this comparable: a wider burst is a prefix of the
+  same run, so a register in both guards first appears at the same
+  instruction.)
+* **Suffix coverage** (B204): control can enter a run at any
+  instruction, so the width-1 table must carry a full-suffix burst for
+  *every* entry PC of every maximal burstable run that is at least
+  ``MIN_BURST`` from the run's end — and no burst anywhere else.
+  Wider tables may drop an entry (cycle-aligned prefix shorter than
+  ``MIN_BURST``) but must never add one outside an eligible position.
+* **Metadata bounds** (B205): starts/instruction slices match the
+  program, guard registers are architectural (1..63, never hardwired
+  r0), slacks sit inside the burst window, write-out deltas are
+  positive completion times, and both tuples are reg-sorted (the
+  engine's bulk ops rely on the order).
+
+Maximal runs are recomputed here independently from
+:func:`repro.isa.segments.burstable`, so a table built from a stale or
+hand-edited schedule cannot vouch for itself.
+"""
+
+from repro.isa.segments import MIN_BURST, burstable
+from repro.analysis.diagnostics import Diagnostic
+
+#: Issue widths audited by default — the widths the experiments use
+#: (Section 7 extension sweeps 1/2/4).
+DEFAULT_WIDTHS = (1, 2, 4)
+
+
+def maximal_runs(program):
+    """Maximal straight-line burstable runs as ``(start, end)`` pairs."""
+    insts = program.instructions
+    n = len(insts)
+    runs = []
+    i = 0
+    while i < n:
+        if not burstable(insts[i]):
+            i += 1
+            continue
+        j = i
+        while j < n and burstable(insts[j]):
+            j += 1
+        runs.append((i, j))
+        i = j
+    return runs
+
+
+def audit_bursts(program, threshold, widths=DEFAULT_WIDTHS):
+    """Audit ``program``'s burst tables; returns a list of Diagnostics."""
+    diags = []
+    name = program.name
+    insts = program.instructions
+    runs = maximal_runs(program)
+    #: entry pc -> end of its maximal run, for every eligible entry.
+    run_end = {}
+    for i, j in runs:
+        for s in range(i, j - MIN_BURST + 1):
+            run_end[s] = j
+
+    tables = {w: program.bursts_for(threshold, w) for w in widths}
+
+    for width in widths:
+        table = tables[width]
+        if len(table) != len(insts):
+            diags.append(Diagnostic(
+                "B205", "width-%d burst table has %d entries for a "
+                "%d-instruction program" % (width, len(table),
+                                            len(insts)), program=name))
+            continue
+        for s, burst in enumerate(table):
+            if burst is None:
+                if width == 1 and s in run_end:
+                    diags.append(Diagnostic(
+                        "B204", "width-1 table missing the suffix burst "
+                        "for entry pc %d (run ends at %d)"
+                        % (s, run_end[s]), program=name, pc=s))
+                continue
+            if s not in run_end:
+                diags.append(Diagnostic(
+                    "B204", "width-%d burst at pc %d, which is not an "
+                    "eligible entry of any burstable run"
+                    % (width, s), program=name, pc=s))
+                continue
+            _audit_one(burst, width, s, run_end[s], insts, name, diags)
+
+    _audit_guard_monotonicity(tables, widths, name, diags)
+    return diags
+
+
+def _audit_one(burst, width, pc, end, insts, name, diags):
+    if burst.start != pc or burst.width != width:
+        diags.append(Diagnostic(
+            "B205", "burst filed at pc %d / width %d records "
+            "start=%d width=%d" % (pc, width, burst.start, burst.width),
+            program=name, pc=pc))
+        return
+    n = burst.n
+    if (n != len(burst.instructions) or n < MIN_BURST
+            or pc + n > end
+            or (width == 1 and pc + n != end)
+            or any(burst.instructions[k] is not insts[pc + k]
+                   for k in range(n))):
+        diags.append(Diagnostic(
+            "B204", "width-%d burst at pc %d covers %d instructions; "
+            "expected a %s of the run ending at %d"
+            % (width, pc, n,
+               "full suffix" if width == 1 else "prefix of the suffix",
+               end), program=name, pc=pc))
+        return
+    if burst.duration * width < n:
+        diags.append(Diagnostic(
+            "B202", "width-%d burst at pc %d retires %d instructions "
+            "in %d cycles (max %d per cycle)"
+            % (width, pc, n, burst.duration, width),
+            program=name, pc=pc))
+    if n + burst.short_stalls + burst.long_stalls != burst.duration * width:
+        diags.append(Diagnostic(
+            "B201", "width-%d burst at pc %d: %d issues + %d short + "
+            "%d long stalls != %d cycles * %d slots"
+            % (width, pc, n, burst.short_stalls, burst.long_stalls,
+               burst.duration, width), program=name, pc=pc))
+    if burst.short_stalls < 0 or burst.long_stalls < 0:
+        diags.append(Diagnostic(
+            "B201", "width-%d burst at pc %d has negative stall counts "
+            "%d/%d" % (width, pc, burst.short_stalls,
+                       burst.long_stalls), program=name, pc=pc))
+    for label, pairs in (("guard", burst.guard),
+                        ("writes_out", burst.writes_out)):
+        if list(pairs) != sorted(pairs):
+            diags.append(Diagnostic(
+                "B205", "width-%d burst at pc %d: %s not sorted by "
+                "register" % (width, pc, label), program=name, pc=pc))
+        for reg, value in pairs:
+            if not 1 <= reg <= 63:
+                diags.append(Diagnostic(
+                    "B205", "width-%d burst at pc %d: %s names "
+                    "non-architectural register %d"
+                    % (width, pc, label, reg), program=name, pc=pc))
+            elif label == "guard" and not 0 <= value < burst.duration:
+                diags.append(Diagnostic(
+                    "B205", "width-%d burst at pc %d: guard slack %d "
+                    "for reg %d outside the %d-cycle window"
+                    % (width, pc, value, reg, burst.duration),
+                    program=name, pc=pc))
+            elif label == "writes_out" and value < 1:
+                diags.append(Diagnostic(
+                    "B205", "width-%d burst at pc %d: write-out delta "
+                    "%d for reg %d is not a completion time"
+                    % (width, pc, value, reg), program=name, pc=pc))
+
+
+def _audit_guard_monotonicity(tables, widths, name, diags):
+    ordered = sorted(set(widths))
+    for a in range(len(ordered)):
+        for b in range(a + 1, len(ordered)):
+            w1, w2 = ordered[a], ordered[b]
+            t1, t2 = tables[w1], tables[w2]
+            for pc in range(min(len(t1), len(t2))):
+                b1, b2 = t1[pc], t2[pc]
+                if b1 is None or b2 is None:
+                    continue
+                g1 = dict(b1.guard)
+                for reg, slack2 in b2.guard:
+                    slack1 = g1.get(reg)
+                    if slack1 is not None and slack2 > slack1:
+                        diags.append(Diagnostic(
+                            "B203", "guard slack for reg %d at pc %d "
+                            "grows from %d (width %d) to %d (width %d)"
+                            % (reg, pc, slack1, w1, slack2, w2),
+                            program=name, pc=pc))
+
+
+__all__ = ["audit_bursts", "maximal_runs", "DEFAULT_WIDTHS"]

@@ -1,0 +1,190 @@
+"""Control-flow graph over decoded :class:`~repro.isa.program.Program`s.
+
+Program counters are instruction indices (see ``isa/program.py``), and
+branch/jump targets are absolute indices carried in ``inst.imm``, so CFG
+construction needs no address arithmetic: leaders are the entry point,
+every static target, and every instruction following a control transfer
+or HALT.
+
+Register-indirect jumps (JR/JALR) have no static target.  The committed
+workloads never emit them, but the graph still has to be sound when they
+appear: an indirect jump is given every *plausible* target — each label
+of the program plus the return site of every JAL/JALR — which
+over-approximates reachability and keeps the dataflow passes
+conservative.  The fall-off-the-end case is modelled as a shared virtual
+exit block (:data:`EXIT`) so the verifier can ask "is falling off the
+end reachable?" as a plain reachability query.
+"""
+
+from repro.isa.opcodes import Op
+
+#: Virtual block id meaning "execution fell past the last instruction".
+EXIT = -1
+
+
+class BasicBlock:
+    """Half-open instruction range ``[start, end)`` with successors."""
+
+    __slots__ = ("bid", "start", "end", "succs")
+
+    def __init__(self, bid, start, end):
+        self.bid = bid
+        self.start = start
+        self.end = end
+        self.succs = ()
+
+    def __repr__(self):
+        return "<BB%d [%d,%d) -> %s>" % (self.bid, self.start, self.end,
+                                         list(self.succs))
+
+
+def _static_target(inst):
+    """The statically known target index, or None for indirect jumps.
+
+    Unresolved label objects (a Program assembled by hand, bypassing
+    the builder) surface as non-int targets; the verifier reports them,
+    the CFG treats them as having no successor edge.
+    """
+    if inst.op in (Op.JR, Op.JALR):
+        return None
+    return inst.imm if isinstance(inst.imm, int) else None
+
+
+class ProgramCFG:
+    """Basic blocks, successor edges, and entry reachability."""
+
+    __slots__ = ("program", "blocks", "block_of", "entry_bid",
+                 "indirect_targets")
+
+    def __init__(self, program):
+        self.program = program
+        insts = program.instructions
+        n = len(insts)
+        entry = program.entry
+
+        # Indirect-jump target over-approximation: labels + JAL(R)
+        # return sites.  Computed only when a JR/JALR exists.
+        has_indirect = any(inst.op in (Op.JR, Op.JALR) for inst in insts)
+        indirect = ()
+        if has_indirect:
+            targets = {idx for idx in program.labels.values()
+                       if 0 <= idx < n}
+            for i, inst in enumerate(insts):
+                if inst.op in (Op.JAL, Op.JALR) and i + 1 < n:
+                    targets.add(i + 1)
+            indirect = tuple(sorted(targets))
+        self.indirect_targets = indirect
+
+        # Leaders.
+        leaders = set()
+        if 0 <= entry < n:
+            leaders.add(entry)
+        for i, inst in enumerate(insts):
+            info = inst.info
+            if info.is_branch or info.is_jump or inst.op is Op.HALT:
+                if i + 1 < n:
+                    leaders.add(i + 1)
+                target = _static_target(inst)
+                if target is not None and 0 <= target < n:
+                    leaders.add(target)
+        if has_indirect:
+            leaders.update(indirect)
+        if n:
+            leaders.add(0)
+
+        starts = sorted(leaders)
+        blocks = []
+        block_of = [0] * n
+        for bid, start in enumerate(starts):
+            end = starts[bid + 1] if bid + 1 < len(starts) else n
+            block = BasicBlock(bid, start, end)
+            blocks.append(block)
+            for i in range(start, end):
+                block_of[i] = bid
+
+        def _bid_of(index):
+            if 0 <= index < n:
+                return block_of[index]
+            return EXIT
+
+        for block in blocks:
+            last = insts[block.end - 1]
+            info = last.info
+            if last.op is Op.HALT:
+                block.succs = ()
+            elif info.is_branch:
+                target = _static_target(last)
+                succs = [_bid_of(block.end)]
+                if target is not None:
+                    tb = _bid_of(target)
+                    if tb not in succs:
+                        succs.append(tb)
+                block.succs = tuple(succs)
+            elif info.is_jump:
+                target = _static_target(last)
+                if target is not None:
+                    block.succs = (_bid_of(target),)
+                else:
+                    # Indirect: every plausible target.
+                    block.succs = tuple(sorted({_bid_of(t)
+                                                for t in indirect}))
+            else:
+                block.succs = (_bid_of(block.end),)
+
+        self.blocks = blocks
+        self.block_of = block_of
+        self.entry_bid = _bid_of(entry) if n else EXIT
+
+    # -- queries -----------------------------------------------------------
+
+    def reachable_blocks(self):
+        """Set of block ids reachable from the entry (EXIT included when
+        execution can fall off the end)."""
+        if self.entry_bid == EXIT:
+            return {EXIT}
+        seen = set()
+        stack = [self.entry_bid]
+        while stack:
+            bid = stack.pop()
+            if bid in seen:
+                continue
+            seen.add(bid)
+            if bid == EXIT:
+                continue
+            stack.extend(s for s in self.blocks[bid].succs
+                         if s not in seen)
+        return seen
+
+    def predecessors(self):
+        """bid -> sorted tuple of predecessor block ids."""
+        preds = {block.bid: [] for block in self.blocks}
+        for block in self.blocks:
+            for s in block.succs:
+                if s != EXIT:
+                    preds[s].append(block.bid)
+        return {bid: tuple(sorted(ps)) for bid, ps in preds.items()}
+
+    def reverse_postorder(self):
+        """Blocks in reverse postorder from the entry (reachable only)."""
+        if self.entry_bid == EXIT:
+            return []
+        order = []
+        seen = set()
+        # Iterative DFS with an explicit phase marker so deep programs
+        # (one block per instruction in the worst case) cannot blow the
+        # recursion limit.
+        stack = [(self.entry_bid, False)]
+        while stack:
+            bid, expanded = stack.pop()
+            if expanded:
+                order.append(bid)
+                continue
+            if bid in seen or bid == EXIT:
+                continue
+            seen.add(bid)
+            stack.append((bid, True))
+            for s in self.blocks[bid].succs:
+                if s not in seen and s != EXIT:
+                    stack.append((s, False))
+        order.reverse()
+        return order

@@ -1,0 +1,152 @@
+"""Determinism lint pass (L3xx).
+
+The result cache keys runs by config/seed/code-version and the three
+engines are required to be bit-identical, so any hash-seed-, host-time-,
+or allocation-dependent behaviour in the simulator core silently poisons
+both guarantees.  These rules flag the Python constructs that smuggle
+such nondeterminism in:
+
+* L301 — iterating an unordered ``set``/``frozenset`` (element order
+  depends on ``PYTHONHASHSEED`` for str keys);
+* L302 — ``.popitem()`` on simulator state (eviction order must be an
+  explicit policy, not "whatever the dict hands back");
+* L303 — module-level ``random`` API or an unseeded ``random.Random()``
+  (simulator randomness must be a seeded, owned generator);
+* L304 — wall-clock time (results must not depend on host timing);
+* L305 — ``id()`` (allocation addresses must not order or key anything).
+
+Scope: the simulator core only — ``core/``, ``coherence/``,
+``memory/``, ``pipeline/``, ``isa/``.  Experiments, workload builders,
+and the CLI may use wall-clock timing and host randomness freely.
+A justified finding is suppressed with an inline allowlist directive
+(``# lint: allow(L302) -- why``, see :mod:`repro.analysis.lint`).
+"""
+
+import ast
+
+from repro.analysis.diagnostics import Diagnostic
+
+#: Top-level package directories the determinism pass applies to.
+SCOPE_DIRS = ("core", "coherence", "memory", "pipeline", "isa")
+
+_TIME_FUNCS = frozenset((
+    "time", "time_ns", "monotonic", "monotonic_ns", "perf_counter",
+    "perf_counter_ns", "process_time", "process_time_ns", "clock",
+))
+_DATETIME_FUNCS = frozenset(("now", "utcnow", "today"))
+
+
+def in_scope(relpath):
+    return relpath.split("/", 1)[0] in SCOPE_DIRS
+
+
+def check_determinism(relpath, tree, lines):
+    if not in_scope(relpath):
+        return []
+    visitor = _Visitor(relpath)
+    visitor.visit(tree)
+    return visitor.diags
+
+
+def _is_set_expr(node):
+    """Expression that evaluates to an unordered set/frozenset."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    return (isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset"))
+
+
+class _Visitor(ast.NodeVisitor):
+
+    def __init__(self, relpath):
+        self.relpath = relpath
+        self.diags = []
+
+    def _emit(self, code, message, node):
+        self.diags.append(Diagnostic(code, message, path=self.relpath,
+                                     line=node.lineno))
+
+    def _check_iter_source(self, source):
+        if _is_set_expr(source):
+            self._emit("L301", "iteration over an unordered set — "
+                       "wrap in sorted() or use an ordered container",
+                       source)
+
+    def visit_For(self, node):
+        self._check_iter_source(node.iter)
+        self.generic_visit(node)
+
+    def _visit_comp(self, node):
+        for gen in node.generators:
+            self._check_iter_source(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _visit_comp
+    visit_SetComp = _visit_comp
+    visit_DictComp = _visit_comp
+    visit_GeneratorExp = _visit_comp
+
+    def visit_Call(self, node):
+        func = node.func
+        # L301: materialising a set in iteration order.
+        if (isinstance(func, ast.Name)
+                and func.id in ("list", "tuple", "enumerate", "iter")
+                and node.args and _is_set_expr(node.args[0])):
+            self._emit("L301", "%s() over an unordered set — order is "
+                       "hash-seed dependent" % func.id, node)
+        # L305: id() of anything.
+        if isinstance(func, ast.Name) and func.id == "id":
+            self._emit("L305", "id() in the simulator core — "
+                       "allocation-dependent values must not order or "
+                       "key anything", node)
+        if isinstance(func, ast.Attribute):
+            attr = func.attr
+            base = func.value
+            # L302: popitem anywhere in simulator state.
+            if attr == "popitem":
+                self._emit("L302", ".popitem() in simulator state — "
+                           "make the eviction order explicit", node)
+            if isinstance(base, ast.Name):
+                # L303: module-level random API / unseeded Random().
+                if base.id == "random":
+                    if attr == "Random":
+                        if not node.args:
+                            self._emit("L303", "unseeded random.Random()"
+                                       " — pass an explicit seed", node)
+                    else:
+                        self._emit("L303", "module-level random.%s() "
+                                   "shares global hidden state — use a "
+                                   "seeded random.Random instance"
+                                   % attr, node)
+                # L304: wall-clock time.
+                if base.id == "time" and attr in _TIME_FUNCS:
+                    self._emit("L304", "time.%s() in the simulator core"
+                               " — results must not depend on host "
+                               "timing" % attr, node)
+                if base.id == "datetime" and attr in _DATETIME_FUNCS:
+                    self._emit("L304", "datetime.%s() in the simulator "
+                               "core — results must not depend on host "
+                               "timing" % attr, node)
+        elif isinstance(func, ast.Name) and func.id == "Random":
+            if not node.args:
+                self._emit("L303", "unseeded Random() — pass an "
+                           "explicit seed", node)
+        self.generic_visit(node)
+
+    def visit_ImportFrom(self, node):
+        if node.module == "random":
+            for alias in node.names:
+                if alias.name != "Random":
+                    self._emit("L303", "from random import %s pulls in "
+                               "the global generator — import Random "
+                               "and seed it" % alias.name, node)
+        if node.module == "time":
+            for alias in node.names:
+                if alias.name in _TIME_FUNCS:
+                    self._emit("L304", "from time import %s in the "
+                               "simulator core" % alias.name, node)
+        self.generic_visit(node)
+
+
+__all__ = ["check_determinism", "in_scope", "SCOPE_DIRS"]

@@ -165,6 +165,73 @@ def _cache_admin(args):
     return 0
 
 
+def _lint_programs(widths=(1, 2, 4)):
+    """Verify every committed example program (workloads + SPLASH)."""
+    from repro.analysis import verify_program
+    from repro.config import PipelineParams
+    from repro.workloads.uniprocessor import WORKLOAD_ORDER, build_workload
+    from repro.workloads.splash import SPLASH_ORDER, build_app
+    threshold = PipelineParams().short_stall_threshold
+    diags = []
+    programs = 0
+    seen = set()
+    for name in WORKLOAD_ORDER:
+        processes, _instances, _barriers = build_workload(name, scale=1.0)
+        for process in processes:
+            program = process.program
+            if id(program) in seen:
+                continue
+            seen.add(id(program))
+            programs += 1
+            diags.extend(verify_program(program, level="full",
+                                        threshold=threshold,
+                                        widths=widths))
+    for name in SPLASH_ORDER:
+        app = build_app(name, 4, threads_per_node=2)
+        for program in app.programs:
+            if id(program) in seen:
+                continue
+            seen.add(id(program))
+            programs += 1
+            diags.extend(verify_program(program, level="full",
+                                        threshold=threshold,
+                                        widths=widths))
+    return diags, programs
+
+
+def _lint(args):
+    """The 'lint' verb: codebase rules and/or program verification."""
+    import json as _json
+    from repro.analysis import (lint_codebase, render_report, has_errors)
+    both = args.lint_all or not (args.codebase or args.programs)
+    do_codebase = args.codebase or both
+    do_programs = args.programs or both
+    diags = []
+    summary = {}
+    if do_codebase:
+        codebase_diags, codebase_summary = lint_codebase()
+        diags.extend(codebase_diags)
+        summary["codebase"] = codebase_summary
+    if do_programs:
+        program_diags, programs = _lint_programs()
+        diags.extend(program_diags)
+        summary["programs"] = {
+            "verified": programs,
+            "errors": sum(1 for d in program_diags if d.is_error),
+            "warnings": sum(1 for d in program_diags if not d.is_error),
+        }
+    if args.json:
+        payload = dict(summary)
+        payload["diagnostics"] = [d.to_dict() for d in diags]
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        if diags:
+            print(render_report(diags))
+        for section in sorted(summary):
+            print("%s: %s" % (section, summary[section]))
+    return 1 if has_errors(diags) else 0
+
+
 EXPERIMENTS = {
     "summary": _summary,
     "analyze": _analyze,
@@ -194,11 +261,13 @@ def main(argv=None):
         description="Regenerate the paper's tables and figures.")
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all", "sweep",
-                                                       "cache"],
+                                                       "cache", "lint"],
                         help="which table/figure to regenerate; 'sweep' "
                              "computes every point in parallel through "
                              "the on-disk cache and renders everything; "
-                             "'cache' administers the cache")
+                             "'cache' administers the cache; 'lint' runs "
+                             "the static-analysis layer (codebase rules "
+                             "and program verification)")
     parser.add_argument("action", nargs="?", default=None,
                         choices=("stats", "clear"),
                         help="for the 'cache' verb: stats (default) or "
@@ -238,6 +307,19 @@ def main(argv=None):
     parser.add_argument("--apps", default=None,
                         help="comma-separated SPLASH app subset for "
                              "'sweep' (default: all)")
+    lint_group = parser.add_argument_group(
+        "lint", "options for the 'lint' verb")
+    lint_group.add_argument("--codebase", action="store_true",
+                            help="lint src/repro with the determinism "
+                                 "and stats-parity rules")
+    lint_group.add_argument("--programs", action="store_true",
+                            help="run the static verifier + burst audit "
+                                 "on every committed example program")
+    lint_group.add_argument("--all", dest="lint_all", action="store_true",
+                            help="both --codebase and --programs (the "
+                                 "default when neither is given)")
+    lint_group.add_argument("--json", action="store_true",
+                            help="emit lint results as JSON")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk result cache")
     parser.add_argument("--cache-dir", default=None,
@@ -250,6 +332,8 @@ def main(argv=None):
         if args.cache_dir is None:
             args.cache_dir = default_cache_dir()
         return _cache_admin(args)
+    if args.experiment == "lint":
+        return _lint(args)
 
     from repro.config import SystemConfig, MultiprocessorParams
     config = (SystemConfig.paper() if args.profile == "paper"

@@ -95,8 +95,12 @@ def _expand_li(rd, value, line_no, line):
                          line_no, line)
 
 
-def assemble(source, name="program", code_base=0, data_base=0x100000):
-    """Assemble ``source`` text into a :class:`Program`."""
+def assemble(source, name="program", code_base=0, data_base=0x100000,
+             strict=False):
+    """Assemble ``source`` text into a :class:`Program`.
+
+    ``strict=True`` runs the load-level static verifier on the result
+    (see :mod:`repro.analysis`)."""
     data = DataSegment(data_base)
     text_records = []   # (label_or_None, mnemonic, operand list, line info)
     section = ".text"
@@ -189,7 +193,7 @@ def assemble(source, name="program", code_base=0, data_base=0x100000):
                 raise AssemblerError("undefined label %r" % target)
 
     return Program(name, instructions, labels, data,
-                   code_base=code_base)
+                   code_base=code_base, strict=strict)
 
 
 def _expand(mnemonic, ops, symbol_value, line_no, raw):

@@ -40,6 +40,9 @@ class TLB:
             return True
         self.misses += 1
         if len(pages) >= self.entries:
+            # LRU eviction: popitem(last=False) pops the least-recently
+            # used entry in insertion/move_to_end order — deterministic.
+            # lint: allow(L302) -- explicit LRU policy on an OrderedDict
             pages.popitem(last=False)
         pages[page] = True
         return False

@@ -1,0 +1,107 @@
+"""CFG construction over decoded programs."""
+
+from repro.analysis.cfg import ProgramCFG, EXIT
+from repro.isa.builder import AsmBuilder
+from repro.isa.opcodes import Op
+
+
+def _cfg(build):
+    b = AsmBuilder("cfg", data_base=0x1000)
+    build(b)
+    return ProgramCFG(b.build())
+
+
+def test_straight_line_single_block():
+    def build(b):
+        b.addi("t1", "zero", 1)
+        b.addi("t2", "t1", 1)
+        b.halt()
+    cfg = _cfg(build)
+    assert len(cfg.blocks) == 1
+    assert cfg.blocks[0].start == 0 and cfg.blocks[0].end == 3
+    assert cfg.blocks[0].succs == ()
+    assert EXIT not in cfg.reachable_blocks()
+
+
+def test_branch_splits_blocks_and_has_two_successors():
+    def build(b):
+        b.addi("t1", "zero", 1)
+        b.beq("t1", "zero", "out")
+        b.addi("t2", "t1", 1)
+        b.label("out")
+        b.halt()
+    cfg = _cfg(build)
+    branch_block = cfg.blocks[cfg.block_of[1]]
+    assert len(branch_block.succs) == 2
+    # Both the fallthrough and the target block are reachable.
+    reach = cfg.reachable_blocks()
+    assert cfg.block_of[2] in reach and cfg.block_of[3] in reach
+
+
+def test_backward_jump_makes_loop_and_halts_epilogue():
+    def build(b):
+        b.label("top")
+        b.addi("t1", "t1", 1)
+        b.j("top")
+        b.halt()
+    cfg = _cfg(build)
+    loop = cfg.blocks[cfg.block_of[0]]
+    assert cfg.block_of[0] in loop.succs       # back edge
+    assert cfg.block_of[2] not in cfg.reachable_blocks()
+    assert EXIT not in cfg.reachable_blocks()
+
+
+def test_fallthrough_off_end_reaches_exit():
+    def build(b):
+        b.addi("t1", "zero", 1)
+        b.addi("t2", "t1", 1)
+    cfg = _cfg(build)
+    assert EXIT in cfg.reachable_blocks()
+    assert EXIT in cfg.blocks[-1].succs
+
+
+def test_indirect_jump_targets_all_labels():
+    def build(b):
+        b.label("a")
+        b.addi("t1", "zero", 1)
+        b.jr("t1")
+        b.label("c")
+        b.addi("t2", "zero", 2)
+        b.halt()
+    cfg = _cfg(build)
+    assert cfg.indirect_targets  # labels become plausible targets
+    jr_block = cfg.blocks[cfg.block_of[1]]
+    assert cfg.block_of[2] in jr_block.succs
+    assert cfg.block_of[0] in jr_block.succs
+
+
+def test_reverse_postorder_starts_at_entry_and_respects_preds():
+    def build(b):
+        b.beq("zero", "zero", "right")
+        b.addi("t1", "zero", 1)
+        b.j("join")
+        b.label("right")
+        b.addi("t2", "zero", 2)
+        b.label("join")
+        b.halt()
+    cfg = _cfg(build)
+    rpo = cfg.reverse_postorder()
+    assert rpo[0] == cfg.entry_bid
+    pos = {bid: i for i, bid in enumerate(rpo)}
+    preds = cfg.predecessors()
+    join = cfg.block_of[4]
+    # Acyclic here: the join appears after both of its predecessors.
+    assert all(pos[p] < pos[join] for p in preds[join])
+
+
+def test_deep_program_does_not_recurse(monkeypatch):
+    # One block per instruction (alternating branches) — the iterative
+    # DFS must not hit the recursion limit.
+    b = AsmBuilder("deep", data_base=0x1000)
+    for _ in range(3000):
+        b.beq("zero", "zero", "end")
+    b.label("end")
+    b.halt()
+    cfg = ProgramCFG(b.build())
+    assert len(cfg.reverse_postorder()) == len(cfg.reachable_blocks())
+    assert cfg.blocks[0].succs

@@ -1,0 +1,28 @@
+"""The 'repro-experiments lint' verb."""
+
+import json
+
+import pytest
+
+from repro.experiments.cli import main
+
+
+def test_lint_codebase_exits_clean(capsys):
+    assert main(["lint", "--codebase"]) == 0
+    out = capsys.readouterr().out
+    assert "codebase" in out
+
+
+def test_lint_codebase_json(capsys):
+    assert main(["lint", "--codebase", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["codebase"]["errors"] == 0
+    assert payload["diagnostics"] == []
+
+
+@pytest.mark.slow
+def test_lint_all_verifies_programs(capsys):
+    assert main(["lint", "--all", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    assert payload["programs"]["errors"] == 0
+    assert payload["programs"]["verified"] >= 50

@@ -1,0 +1,165 @@
+"""Determinism lint rules (L3xx) and the allowlist machinery."""
+
+import ast
+import textwrap
+
+from repro.analysis.lint import lint_file, parse_allowlist
+from repro.analysis.rules.determinism import check_determinism
+
+CORE = "core/fake.py"
+
+
+def _run(source, relpath=CORE):
+    source = textwrap.dedent(source)
+    return check_determinism(relpath, ast.parse(source),
+                             source.splitlines())
+
+
+def _codes(diags):
+    return {d.code for d in diags}
+
+
+# -- L301: unordered set iteration ----------------------------------------
+
+def test_l301_for_over_set_literal():
+    assert "L301" in _codes(_run("for x in {1, 2, 3}:\n    pass\n"))
+
+
+def test_l301_comprehension_over_set_call():
+    assert "L301" in _codes(_run("y = [v for v in set(items)]\n"))
+
+
+def test_l301_list_of_set():
+    assert "L301" in _codes(_run("y = list({o.key for o in objs})\n"))
+
+
+def test_l301_pass_sorted_and_ordered_containers():
+    clean = """
+    for x in sorted({3, 1, 2}):
+        pass
+    for y in [1, 2, 3]:
+        pass
+    z = sorted(set(items))
+    present = x in {1, 2, 3}
+    """
+    assert not _run(clean)
+
+
+# -- L302: popitem ---------------------------------------------------------
+
+def test_l302_popitem():
+    assert "L302" in _codes(_run("entry = cache.popitem()\n"))
+
+
+def test_l302_pass_explicit_pop():
+    assert not _run("entry = cache.pop(key)\n")
+
+
+# -- L303: random ----------------------------------------------------------
+
+def test_l303_module_level_random():
+    assert "L303" in _codes(_run("import random\nx = random.random()\n"))
+
+
+def test_l303_unseeded_random_instance():
+    assert "L303" in _codes(_run("import random\nr = random.Random()\n"))
+
+
+def test_l303_from_import():
+    assert "L303" in _codes(_run("from random import shuffle\n"))
+
+
+def test_l303_pass_seeded_generator():
+    clean = """
+    import random
+    from random import Random
+    r = random.Random(1994)
+    r2 = Random(seed)
+    """
+    assert not _run(clean)
+
+
+# -- L304: wall-clock time -------------------------------------------------
+
+def test_l304_time_time():
+    assert "L304" in _codes(_run("import time\nt0 = time.time()\n"))
+
+
+def test_l304_perf_counter_import():
+    assert "L304" in _codes(_run("from time import perf_counter\n"))
+
+
+def test_l304_pass_sleepless_core():
+    assert not _run("import time\ntime.sleep(0)\n")
+
+
+# -- L305: id() ------------------------------------------------------------
+
+def test_l305_id_call():
+    assert "L305" in _codes(_run("key = id(obj)\n"))
+
+
+def test_l305_pass_attribute_named_id():
+    assert not _run("key = node.id\n")
+
+
+# -- scope -----------------------------------------------------------------
+
+def test_rules_scoped_to_simulator_core():
+    noisy = "import time\nt = time.time()\nkey = id(t)\n"
+    assert _run(noisy, relpath="core/x.py")
+    assert not _run(noisy, relpath="experiments/x.py")
+    assert not _run(noisy, relpath="workloads/x.py")
+
+
+# -- allowlist -------------------------------------------------------------
+
+def _lint_source(tmp_path, source, relpath=CORE):
+    path = tmp_path / "fake.py"
+    path.write_text(textwrap.dedent(source))
+    return lint_file(path, relpath)
+
+
+def test_allowlist_suppresses_same_line(tmp_path):
+    diags, suppressed = _lint_source(
+        tmp_path,
+        "d.popitem()  # lint: allow(L302) -- explicit policy elsewhere\n")
+    assert not diags
+    assert [d.code for d in suppressed] == ["L302"]
+
+
+def test_allowlist_comment_line_covers_next_line(tmp_path):
+    diags, suppressed = _lint_source(tmp_path, """
+    # lint: allow(L302) -- eviction order pinned by test_x
+    d.popitem()
+    """)
+    assert not diags
+    assert [d.code for d in suppressed] == ["L302"]
+
+
+def test_allowlist_wrong_code_does_not_suppress(tmp_path):
+    diags, suppressed = _lint_source(
+        tmp_path, "d.popitem()  # lint: allow(L301) -- not the code\n")
+    assert "L302" in _codes(diags)
+    assert not suppressed
+
+
+def test_l501_missing_justification(tmp_path):
+    diags, suppressed = _lint_source(
+        tmp_path, "d.popitem()  # lint: allow(L302)\n")
+    # Unjustified directives suppress nothing and are findings.
+    assert {"L501", "L302"} <= _codes(diags)
+    assert not suppressed
+
+
+def test_l502_unknown_code(tmp_path):
+    diags, _ = _lint_source(
+        tmp_path, "x = 1  # lint: allow(Z999) -- no such rule\n")
+    assert "L502" in _codes(diags)
+
+
+def test_parse_allowlist_multiple_codes():
+    allows, diags = parse_allowlist(
+        CORE, ["x = 1  # lint: allow(L301, L305) -- both fine here"])
+    assert allows[1] == {"L301", "L305"}
+    assert not diags
