@@ -1,0 +1,187 @@
+"""Service-path timing: job latency and burst-cache warmup (CI gate).
+
+Submits the same burst-engine sweep job twice through a
+:class:`~repro.service.manager.JobManager`:
+
+* **cold** — empty burst-table cache: every worker compiles its
+  program's tables and publishes them;
+* **warm** — same burst directory, a *fresh* result cache: every point
+  recomputes its simulation but loads its burst tables from the shared
+  cache (validated by ``audit_bursts``) instead of compiling.
+
+Records submit-to-first-result latency and points/sec for both runs
+plus the ``warm_speedup`` ratio (warm / cold points-per-sec) — a
+host-independent ratio CI gates against a checked-in baseline
+(``BENCH_service_baseline.json``).  Two correctness gates are
+unconditional: the warm run must *hit* the table cache on every point
+and must never reject an entry.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_service.py --out BENCH_service.json
+    PYTHONPATH=src python benchmarks/bench_service.py \
+        --baseline benchmarks/BENCH_service_baseline.json \
+        --max-regression 0.50
+"""
+
+import argparse
+import json
+import os
+import platform
+import shutil
+import sys
+import tempfile
+import time
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "src"))
+
+from repro.config import SystemConfig, MultiprocessorParams  # noqa: E402
+from repro.experiments.cache import ResultCache              # noqa: E402
+from repro.experiments.export import write_json              # noqa: E402
+from repro.service import JobManager, JobSpec                # noqa: E402
+
+#: One workload, several schemes/context counts: every point shares one
+#: program, so the table cache's cross-worker sharing is on the hot path.
+POINTS = (
+    ("uniproc", "R1", "single", 1),
+    ("uniproc", "R1", "blocked", 2),
+    ("uniproc", "R1", "interleaved", 2),
+    ("uniproc", "R1", "interleaved", 4),
+)
+
+WARMUP = 2_000
+MEASURE = 12_000
+WORKERS = 2
+
+
+def _run_once(burst_dir, result_dir):
+    """One submit -> drain cycle; returns the timing/stat dict."""
+    spec = JobSpec(points=POINTS, config=SystemConfig.fast(),
+                   mp_params=MultiprocessorParams(n_nodes=2),
+                   warmup=WARMUP, measure=MEASURE, engine="burst")
+    with JobManager(workers=WORKERS, cache=ResultCache(result_dir),
+                    burst_dir=burst_dir) as manager:
+        t0 = time.perf_counter()
+        job_id = manager.submit(spec)
+        first = None
+        n = 0
+        for _payload in manager.iter_results(job_id, timeout=600):
+            if first is None:
+                first = time.perf_counter() - t0
+            n += 1
+        total = time.perf_counter() - t0
+        status = manager.status(job_id)
+    if status["status"] != "completed" or n != len(POINTS):
+        raise RuntimeError("benchmark job did not complete: %r"
+                           % (status,))
+    return {
+        "submit_to_first_result_seconds": round(first, 3),
+        "total_seconds": round(total, 3),
+        "points_per_second": round(n / total, 3),
+        "burst": status["burst_cache"],
+    }
+
+
+def run_benchmark():
+    root = tempfile.mkdtemp(prefix="bench_service_")
+    try:
+        burst_dir = os.path.join(root, "bursts")
+        cold = _run_once(burst_dir, os.path.join(root, "rc_cold"))
+        # Fresh result cache: the simulations recompute, only the
+        # compiled burst tables carry over.
+        warm = _run_once(burst_dir, os.path.join(root, "rc_warm"))
+    finally:
+        shutil.rmtree(root, ignore_errors=True)
+    case = {
+        "cold": cold,
+        "warm": warm,
+        "warm_speedup": round(warm["points_per_second"]
+                              / cold["points_per_second"], 3),
+    }
+    return {
+        "benchmark": "bench_service",
+        "n_points": len(POINTS),
+        "workers": WORKERS,
+        "cases": {"service_burst_sweep": case},
+        "host": {"python": platform.python_version(),
+                 "machine": platform.machine(),
+                 "cpus": os.cpu_count()},
+    }
+
+
+def check(payload, baseline, max_regression):
+    """Correctness gates plus the ratio gate; returns failure strings."""
+    failures = []
+    case = payload["cases"]["service_burst_sweep"]
+    warm_burst = case["warm"]["burst"]
+    if warm_burst["hits"] < payload["n_points"]:
+        failures.append(
+            "warm run hit the burst cache on %d/%d points — table "
+            "sharing is not on the hot path"
+            % (warm_burst["hits"], payload["n_points"]))
+    for phase in ("cold", "warm"):
+        if case[phase]["burst"]["rejected"]:
+            failures.append("%s run rejected %d cached burst tables"
+                            % (phase, case[phase]["burst"]["rejected"]))
+    if baseline is not None:
+        base = baseline["cases"]["service_burst_sweep"]
+        for key, base_ratio in base.items():
+            if not key.endswith("speedup"):
+                continue
+            ratio = case.get(key)
+            floor = base_ratio * (1.0 - max_regression)
+            if ratio is None or ratio < floor:
+                failures.append(
+                    "service_burst_sweep: %s %s below floor %.2fx "
+                    "(baseline %.2fx, max regression %.0f%%)"
+                    % (key, "%.2fx" % ratio if ratio is not None
+                       else "missing", floor, base_ratio,
+                       max_regression * 100))
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--out", default="BENCH_service.json")
+    parser.add_argument("--baseline", default=None,
+                        help="baseline JSON to gate warm_speedup against "
+                             "(omit when regenerating the baseline)")
+    parser.add_argument("--max-regression", type=float, default=0.50,
+                        help="allowed fractional warm_speedup regression "
+                             "vs the baseline (default 0.50 — process "
+                             "scheduling makes this ratio noisier than "
+                             "the in-process engine ratios)")
+    args = parser.parse_args(argv)
+
+    payload = run_benchmark()
+    write_json(args.out, payload)
+    case = payload["cases"]["service_burst_sweep"]
+    print(json.dumps({
+        "submit_to_first_result_seconds": {
+            phase: case[phase]["submit_to_first_result_seconds"]
+            for phase in ("cold", "warm")},
+        "points_per_second": {
+            phase: case[phase]["points_per_second"]
+            for phase in ("cold", "warm")},
+        "warm_speedup": case["warm_speedup"],
+        "warm_burst": case["warm"]["burst"],
+    }, indent=2))
+    print("wrote %s" % args.out)
+
+    baseline = None
+    if args.baseline:
+        with open(args.baseline) as fh:
+            baseline = json.load(fh)
+    failures = check(payload, baseline, args.max_regression)
+    if failures:
+        for failure in failures:
+            print("REGRESSION: %s" % failure, file=sys.stderr)
+        return 1
+    print("service gate passed%s"
+          % (" (max regression %.0f%%)" % (args.max_regression * 100)
+             if baseline is not None else " (correctness gates only)"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -77,6 +77,14 @@ class DSMachine:
         self.upgrades = 0
         self.invalidations_sent = 0
         self.dirty_remote_services = 0
+        # Fills serviced off-node (home memory on another node, or a
+        # 3-hop transfer out of a remote cache) — the communication
+        # misses that dominate the multiprocessor's latency budget.
+        self.remote_fills = 0
+        # MSHR-full NACKs: the request is refused and the processor
+        # retries later (each refusal also counts in the refusing
+        # node's ``mshr.structural_stalls``).
+        self.nack_retries = 0
 
     # -- placement ---------------------------------------------------------------
 
@@ -160,6 +168,7 @@ class DSMachine:
             # home — a late-detected long-latency event.
             if len(node.mshr.entries) >= node.mshr.capacity:
                 node.mshr.structural_stalls += 1
+                self.nack_retries += 1
                 return AccessResult(
                     "mshr", node.mshr.earliest_completion() or now + 1)
             self.upgrades += 1
@@ -177,6 +186,7 @@ class DSMachine:
         # a structural retry replays the full transaction.
         if len(node.mshr.entries) >= node.mshr.capacity:
             node.mshr.structural_stalls += 1
+            self.nack_retries += 1
             return AccessResult(
                 "mshr", node.mshr.earliest_completion() or now + 1)
         if is_write:
@@ -200,6 +210,8 @@ class DSMachine:
                 entry.sharers |= 1 << node_id
             latency = self.latency.memory_latency(node_id, home)
             level = "local" if home == node_id else "remote"
+        if level != "local":
+            self.remote_fills += 1
 
         evicted = cache.fill(addr)
         if is_write:

@@ -65,6 +65,8 @@ def analyze_multiprocessor(sim, result):
         "upgrades": machine.upgrades,
         "invalidations": machine.invalidations_sent,
         "cache_to_cache": machine.dirty_remote_services,
+        "remote_fills": machine.remote_fills,
+        "nack_retries": machine.nack_retries,
         "miss_rate": ((machine.read_misses + machine.write_misses)
                       / accesses),
         "latency_samples": dict(machine.latency.samples),
@@ -116,6 +118,8 @@ def render_multiprocessor(analysis):
         ("upgrades / invalidations", ["%d / %d" % (
             analysis["upgrades"], analysis["invalidations"])]),
         ("cache-to-cache transfers", [analysis["cache_to_cache"]]),
+        ("remote fills / NACKs", ["%d / %d" % (
+            analysis["remote_fills"], analysis["nack_retries"])]),
         ("latency samples l/r/rc", ["%d / %d / %d" % (
             analysis["latency_samples"].get("local", 0),
             analysis["latency_samples"].get("remote", 0),

@@ -32,7 +32,8 @@ from repro.core.stats import CycleStats
 from repro.core.mpsimulator import MPResult
 
 #: Bump when the on-disk payload layout changes.
-CACHE_SCHEMA = 1
+#: 2: DSM protocol counters gained remote_fills and nack_retries.
+CACHE_SCHEMA = 2
 
 #: Default cache location (overridable via CLI flag or environment).
 CACHE_DIR_ENV = "REPRO_CACHE_DIR"
@@ -141,15 +142,19 @@ class CachedProtocol:
     """The DSMachine protocol counters an exported MPResult needs."""
 
     __slots__ = ("read_misses", "write_misses", "upgrades",
-                 "invalidations_sent", "dirty_remote_services")
+                 "invalidations_sent", "dirty_remote_services",
+                 "remote_fills", "nack_retries")
 
     def __init__(self, read_misses, write_misses, upgrades,
-                 invalidations_sent, dirty_remote_services):
+                 invalidations_sent, dirty_remote_services,
+                 remote_fills, nack_retries):
         self.read_misses = read_misses
         self.write_misses = write_misses
         self.upgrades = upgrades
         self.invalidations_sent = invalidations_sent
         self.dirty_remote_services = dirty_remote_services
+        self.remote_fills = remote_fills
+        self.nack_retries = nack_retries
 
 
 def mp_to_state(result):
@@ -163,6 +168,8 @@ def mp_to_state(result):
             "upgrades": result.machine.upgrades,
             "invalidations_sent": result.machine.invalidations_sent,
             "dirty_remote_services": result.machine.dirty_remote_services,
+            "remote_fills": result.machine.remote_fills,
+            "nack_retries": result.machine.nack_retries,
         },
     }
 
@@ -232,6 +239,31 @@ class ResultCache:
             return None
         self.hits += 1
         return SERIALIZERS[kind][1](payload["result"])
+
+    def get_state(self, key, kind):
+        """The still-serialised result state for ``key``, or None.
+
+        Same validation and miss/corruption accounting as :meth:`get`,
+        but skips deserialisation — for callers (the service's job
+        manager) that hold results in the wire format and only
+        materialise objects at the edge.
+        """
+        path = self._path(key)
+        try:
+            payload = self._load_validated(path, key, kind)
+        except FileNotFoundError:
+            self.misses += 1
+            return None
+        except CorruptEntry:
+            self.corrupt += 1
+            self.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.hits += 1
+        return payload["result"]
 
     def _load_validated(self, path, key, kind):
         try:

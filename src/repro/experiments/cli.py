@@ -8,6 +8,10 @@ Usage::
     repro-experiments sweep --jobs 4          # parallel, cached
     repro-experiments cache stats
     repro-experiments cache clear
+    repro-experiments submit --workloads R1   # queue a job in the spool
+    repro-experiments serve --once            # run queued jobs, then exit
+    repro-experiments jobs                    # list spool job statuses
+    repro-experiments jobs sj-00001           # one job's full status
 
 (``interleaving-experiments`` is the historical alias of the same
 entry point.)
@@ -165,6 +169,124 @@ def _cache_admin(args):
     return 0
 
 
+def _validate_subsets(workloads, apps):
+    """Reject unknown workload/app names with the sweep's error text."""
+    from repro.workloads.uniprocessor import WORKLOADS
+    from repro.workloads.splash import SPLASH_APPS
+    unknown = ([w for w in workloads or () if w not in WORKLOADS]
+               + [a for a in apps or () if a not in SPLASH_APPS])
+    if unknown:
+        sys.exit("error: unknown workload/app name(s): %s (workloads: "
+                 "%s; apps: %s)" % (", ".join(unknown),
+                                    ", ".join(sorted(WORKLOADS)),
+                                    ", ".join(sorted(SPLASH_APPS))))
+
+
+def _service_spec(args):
+    """A JobSpec from the same flags the batch verbs use."""
+    from repro.config import SystemConfig, MultiprocessorParams
+    from repro.service import JobSpec
+    workloads = args.workloads.split(",") if args.workloads else None
+    apps = args.apps.split(",") if args.apps else None
+    _validate_subsets(workloads, apps)
+    kwargs = {
+        "config": (SystemConfig.paper() if args.profile == "paper"
+                   else SystemConfig.fast()),
+        "mp_params": MultiprocessorParams(
+            n_nodes=args.nodes if args.nodes is not None else 8),
+        "seed": args.seed,
+        "engine": args.engine,
+        "timeout": args.job_timeout,
+        "max_retries": args.max_retries,
+    }
+    if args.warmup is not None:
+        kwargs["warmup"] = args.warmup
+    if args.measure is not None:
+        kwargs["measure"] = args.measure
+    if args.points:
+        points = []
+        for text in args.points.split(","):
+            parts = text.split(":")
+            if len(parts) != 4 or parts[0] not in ("uniproc", "dedicated",
+                                                   "mp"):
+                sys.exit("error: --points entries are "
+                         "kind:name:scheme:n_contexts with kind one of "
+                         "uniproc/dedicated/mp, not %r" % (text,))
+            try:
+                points.append((parts[0], parts[1], parts[2],
+                               int(parts[3])))
+            except ValueError:
+                sys.exit("error: bad context count in %r" % (text,))
+        _validate_subsets([p[1] for p in points if p[0] != "mp"],
+                          [p[1] for p in points if p[0] == "mp"])
+        return JobSpec(points=tuple(points), **kwargs)
+    return JobSpec.sweep(workloads=workloads, apps=apps, **kwargs)
+
+
+def _submit(args):
+    """The 'submit' verb: queue a job spec in the spool, print its id."""
+    from repro.service.spool import Spool
+    spool = Spool(args.spool)
+    job_id = spool.submit(_service_spec(args))
+    print(job_id)
+    return 0
+
+
+def _serve(args):
+    """The 'serve' verb: run queued spool jobs on a worker pool."""
+    from repro.experiments.cache import ResultCache
+    from repro.service import JobManager
+    from repro.service.burst_cache import default_burst_cache_dir
+    from repro.service.spool import Spool, serve_forever
+    cache = None if args.no_cache else ResultCache(args.cache_dir)
+    manager = JobManager(
+        workers=args.workers,
+        cache=cache,
+        burst_dir=(args.burst_cache_dir if args.burst_cache_dir is not None
+                   else default_burst_cache_dir()),
+        default_timeout=args.job_timeout)
+    spool = Spool(args.spool)
+    print("serving spool %s with %d worker(s)%s"
+          % (spool.root, args.workers, " (once)" if args.once else ""),
+          file=sys.stderr)
+    served = serve_forever(spool, manager, once=args.once,
+                           max_seconds=args.serve_seconds)
+    print("served %d job(s)" % served, file=sys.stderr)
+    return 0
+
+
+def _jobs(args):
+    """The 'jobs' verb: list spool jobs, or show one job in full."""
+    import json as _json
+    from repro.service.spool import Spool
+    spool = Spool(args.spool)
+    if args.action:
+        status = spool.read_status(args.action)
+        if status is None:
+            queued = dict(spool.pending())
+            if args.action in queued:
+                print(_json.dumps({"job_id": args.action,
+                                   "status": "queued"}, indent=2))
+                return 0
+            sys.exit("error: unknown job id %r under %s"
+                     % (args.action, spool.root))
+        status["results"] = len(spool.read_results(args.action))
+        print(_json.dumps(status, indent=2, sort_keys=True))
+        return 0
+    statuses = spool.list_jobs()
+    if not statuses:
+        print("no jobs under %s" % spool.root)
+        return 0
+    print("%-10s %-10s %9s %9s %6s" % ("JOB", "STATUS", "COMPLETED",
+                                       "POINTS", "HITS"))
+    for st in statuses:
+        print("%-10s %-10s %9s %9s %6s"
+              % (st.get("job_id", "?"), st.get("status", "?"),
+                 st.get("completed", "-"), st.get("n_points", "-"),
+                 st.get("cache_hits", "-")))
+    return 0
+
+
 def _lint_programs(widths=(1, 2, 4)):
     """Verify every committed example program (workloads + SPLASH)."""
     from repro.analysis import verify_program
@@ -261,17 +383,22 @@ def main(argv=None):
         description="Regenerate the paper's tables and figures.")
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all", "sweep",
-                                                       "cache", "lint"],
+                                                       "cache", "lint",
+                                                       "serve", "submit",
+                                                       "jobs"],
                         help="which table/figure to regenerate; 'sweep' "
                              "computes every point in parallel through "
                              "the on-disk cache and renders everything; "
                              "'cache' administers the cache; 'lint' runs "
                              "the static-analysis layer (codebase rules "
-                             "and program verification)")
+                             "and program verification); 'submit' queues "
+                             "a job in the spool, 'serve' runs queued "
+                             "jobs on a worker pool, 'jobs' lists their "
+                             "statuses")
     parser.add_argument("action", nargs="?", default=None,
-                        choices=("stats", "clear"),
                         help="for the 'cache' verb: stats (default) or "
-                             "clear")
+                             "clear; for the 'jobs' verb: a job id to "
+                             "show in full")
     parser.add_argument("--profile", choices=("fast", "paper"),
                         default="fast",
                         help="machine profile (paper = full-size caches; "
@@ -307,6 +434,39 @@ def main(argv=None):
     parser.add_argument("--apps", default=None,
                         help="comma-separated SPLASH app subset for "
                              "'sweep' (default: all)")
+    service_group = parser.add_argument_group(
+        "service", "options for the 'serve'/'submit'/'jobs' verbs")
+    service_group.add_argument(
+        "--spool", default=None,
+        help="spool directory shared by serve/submit/jobs (default "
+             "$REPRO_SPOOL_DIR or .repro_spool)")
+    service_group.add_argument(
+        "--points", default=None,
+        help="'submit': explicit comma-separated points as "
+             "kind:name:scheme:n_contexts (e.g. uniproc:R1:single:1,"
+             "uniproc:R1:interleaved:2); default: the full sweep of "
+             "--workloads/--apps")
+    service_group.add_argument(
+        "--workers", type=int, default=2,
+        help="worker processes for 'serve' (default 2)")
+    service_group.add_argument(
+        "--once", action="store_true",
+        help="'serve': drain the current queue, wait for every claimed "
+             "job to finish, then exit (CI mode)")
+    service_group.add_argument(
+        "--serve-seconds", type=float, default=None,
+        help="'serve': hard wall-clock stop for the serving loop")
+    service_group.add_argument(
+        "--job-timeout", type=float, default=None,
+        help="per-job wall-clock timeout in seconds (submit: recorded "
+             "in the spec; serve: default for specs without one)")
+    service_group.add_argument(
+        "--max-retries", type=int, default=2,
+        help="'submit': per-point retry budget on worker death")
+    service_group.add_argument(
+        "--burst-cache-dir", default=None,
+        help="'serve': shared compiled-burst-table cache directory "
+             "(default $REPRO_BURST_CACHE_DIR or .repro_burst_cache)")
     lint_group = parser.add_argument_group(
         "lint", "options for the 'lint' verb")
     lint_group.add_argument("--codebase", action="store_true",
@@ -329,11 +489,20 @@ def main(argv=None):
     args = parser.parse_args(argv)
 
     if args.experiment == "cache":
+        if args.action not in (None, "stats", "clear"):
+            parser.error("cache action must be 'stats' or 'clear', "
+                         "not %r" % (args.action,))
         if args.cache_dir is None:
             args.cache_dir = default_cache_dir()
         return _cache_admin(args)
     if args.experiment == "lint":
         return _lint(args)
+    if args.experiment == "submit":
+        return _submit(args)
+    if args.experiment == "serve":
+        return _serve(args)
+    if args.experiment == "jobs":
+        return _jobs(args)
 
     from repro.config import SystemConfig, MultiprocessorParams
     config = (SystemConfig.paper() if args.profile == "paper"

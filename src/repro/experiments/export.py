@@ -49,6 +49,8 @@ def mp_result_to_dict(result):
             "upgrades": result.machine.upgrades,
             "invalidations": result.machine.invalidations_sent,
             "cache_to_cache": result.machine.dirty_remote_services,
+            "remote_fills": result.machine.remote_fills,
+            "nack_retries": result.machine.nack_retries,
         },
     }
 

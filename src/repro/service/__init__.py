@@ -1,0 +1,38 @@
+"""Simulation-as-a-service: an async job front end over the sweep engine.
+
+The batch pieces — :class:`~repro.experiments.sweep.SweepEngine` point
+enumeration, the content-addressed
+:class:`~repro.experiments.cache.ResultCache`, and the
+:class:`~repro.api.Simulation` facade — compose here into a servable
+system:
+
+* :class:`JobSpec` describes one simulation/sweep job (points plus the
+  exact context parameters the serial path would use, so results are
+  bit-identical and cache entries are interchangeable with
+  ``repro-experiments sweep``).
+* :class:`JobManager` accepts jobs (``submit(spec) -> job_id``), shards
+  their points across a pool of worker processes with read-through
+  ``ResultCache`` lookups, and exposes ``status(job_id)`` /
+  ``results(job_id)`` / ``cancel(job_id)`` plus a synchronous
+  ``iter_results`` and an ``async`` ``stream`` of per-point
+  ``RunResult.to_json`` payloads.  Worker death is retried with
+  exponential backoff; jobs carry a wall-clock timeout; shutdown is
+  graceful (completed points are flushed to the result cache).
+* :class:`BurstTableCache` shares compiled burst tables across workers,
+  keyed by :func:`repro.analysis.program_fingerprint` plus the
+  ``(short_stall_threshold, issue_width)`` schedule key, and every
+  loaded table must pass :func:`repro.analysis.audit_bursts` before it
+  is trusted.
+* :mod:`repro.service.spool` is the file-based transport behind the
+  ``repro-experiments serve / submit / jobs`` CLI verbs.
+"""
+
+from repro.service.jobs import (JobSpec, JobStatus, PENDING, RUNNING,
+                                COMPLETED, FAILED, CANCELLED, TIMEOUT)
+from repro.service.burst_cache import BurstTableCache
+from repro.service.manager import JobManager
+
+__all__ = [
+    "JobSpec", "JobStatus", "JobManager", "BurstTableCache",
+    "PENDING", "RUNNING", "COMPLETED", "FAILED", "CANCELLED", "TIMEOUT",
+]

@@ -1,0 +1,222 @@
+"""Cross-worker cache of compiled burst tables, keyed by program content.
+
+Compiling a program's burst tables (:func:`repro.isa.segments.
+build_burst_table`) is pure: the table depends only on the program's
+instructions and the ``(short_stall_threshold, issue_width)`` schedule
+key.  Sweep points that share a program — every scheme/context count of
+one workload, every thread of one SPLASH app — therefore share their
+tables, and a pool of worker processes can amortise the compile cost
+through this on-disk cache instead of each recompiling from scratch
+(the same warm-up amortisation argument as Durbhakula's simulation-
+speedup line of work).
+
+Keying and trust:
+
+* the key is :func:`repro.analysis.program_fingerprint` — a content
+  hash of the decoded instructions, entry point, and code base — plus
+  the schedule key, so two structurally identical programs built by
+  different workers share entries while any code difference misses;
+* a loaded table is installed only after it passes the full static
+  :func:`repro.analysis.audit_bursts` (which recomputes the maximal
+  runs independently), so a stale, corrupt, or hand-edited entry is
+  rejected and recompiled rather than trusted.
+
+Writes are atomic (temp file + rename), matching
+:class:`~repro.experiments.cache.ResultCache` semantics: two workers
+racing to store the same table leave a valid entry.
+"""
+
+import json
+import os
+import pathlib
+import tempfile
+
+from repro.isa.segments import Burst
+
+#: Bump when the serialised table layout changes.
+BURST_CACHE_SCHEMA = 1
+
+#: Default location (sibling of the result cache by convention).
+BURST_CACHE_DIR_ENV = "REPRO_BURST_CACHE_DIR"
+DEFAULT_BURST_CACHE_DIR = ".repro_burst_cache"
+
+
+def default_burst_cache_dir():
+    return os.environ.get(BURST_CACHE_DIR_ENV, DEFAULT_BURST_CACHE_DIR)
+
+
+def burst_to_state(burst):
+    """One Burst as a plain dict (instructions are carried by index)."""
+    return {
+        "start": burst.start,
+        "n": burst.n,
+        "duration": burst.duration,
+        "width": burst.width,
+        "short_stalls": burst.short_stalls,
+        "long_stalls": burst.long_stalls,
+        "guard": [list(p) for p in burst.guard],
+        "writes_out": [list(p) for p in burst.writes_out],
+    }
+
+
+def burst_from_state(state, program):
+    """Rebuild a Burst against ``program``'s own instruction objects."""
+    start, n = state["start"], state["n"]
+    instructions = tuple(program.instructions[start:start + n])
+    if len(instructions) != n:
+        raise ValueError("burst slice [%d:%d) outside the program"
+                         % (start, start + n))
+    return Burst(start, instructions, state["duration"],
+                 state["short_stalls"], state["long_stalls"],
+                 tuple((r, v) for r, v in state["guard"]),
+                 tuple((r, v) for r, v in state["writes_out"]),
+                 width=state["width"])
+
+
+class BurstTableCache:
+    """On-disk store of compiled burst tables under one directory.
+
+    Layout: ``<root>/<fp[:2]>/<fp>-t<threshold>-w<width>.json``.
+    ``load`` installs a validated table into the program's
+    ``bursts_for`` memo; ``store`` persists any tables the program has
+    already compiled.  Session counters (``hits``/``misses``/
+    ``stores``/``rejected``) feed the service's job status and the
+    service benchmark.
+    """
+
+    def __init__(self, root=None):
+        self.root = pathlib.Path(root if root is not None
+                                 else default_burst_cache_dir())
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        self.rejected = 0
+
+    def _path(self, fingerprint, threshold, width):
+        name = "%s-t%d-w%d.json" % (fingerprint, threshold, width)
+        return self.root / fingerprint[:2] / name
+
+    # -- read side ---------------------------------------------------------
+
+    def load(self, program, threshold, width, fingerprint=None):
+        """Install a cached table for ``(program, threshold, width)``.
+
+        Returns True on a validated hit (the table is installed in the
+        program's memo, so ``program.bursts_for`` returns it without
+        compiling).  Any failure — missing entry, undecodable payload,
+        shape mismatch, or an ``audit_bursts`` error finding — is a
+        miss; a failing entry is deleted so the next ``store`` replaces
+        it.
+        """
+        from repro.analysis import program_fingerprint, audit_bursts
+        if fingerprint is None:
+            fingerprint = program_fingerprint(program)
+        path = self._path(fingerprint, threshold, width)
+        try:
+            payload = json.loads(path.read_text())
+        except FileNotFoundError:
+            self.misses += 1
+            return False
+        except (ValueError, UnicodeDecodeError, OSError):
+            self._reject(path)
+            return False
+        key = (threshold, width)
+        try:
+            if (payload.get("schema") != BURST_CACHE_SCHEMA
+                    or payload.get("fingerprint") != fingerprint
+                    or payload.get("threshold") != threshold
+                    or payload.get("width") != width
+                    or payload.get("n_instructions")
+                    != len(program.instructions)):
+                raise ValueError("metadata mismatch")
+            table = [None if entry is None
+                     else burst_from_state(entry, program)
+                     for entry in payload["table"]]
+            if len(table) != len(program.instructions):
+                raise ValueError("table length mismatch")
+        except (ValueError, KeyError, TypeError, IndexError):
+            self._reject(path)
+            return False
+        # Trust only after the full static audit (audit_bursts reads the
+        # table back through bursts_for, so install first, purge on
+        # failure).
+        program._burst_tables[key] = table
+        diags = audit_bursts(program, threshold, widths=(width,))
+        if any(d.is_error for d in diags):
+            del program._burst_tables[key]
+            self._reject(path)
+            return False
+        self.hits += 1
+        return True
+
+    def _reject(self, path):
+        self.rejected += 1
+        self.misses += 1
+        try:
+            path.unlink()
+        except OSError:
+            pass
+
+    # -- write side --------------------------------------------------------
+
+    def store(self, program, threshold, width, fingerprint=None):
+        """Persist the program's compiled ``(threshold, width)`` table.
+
+        Compiles it first if the program has not already (idempotent;
+        returns the entry path).
+        """
+        from repro.analysis import program_fingerprint
+        if fingerprint is None:
+            fingerprint = program_fingerprint(program)
+        table = program.bursts_for(threshold, width)
+        payload = {
+            "schema": BURST_CACHE_SCHEMA,
+            "fingerprint": fingerprint,
+            "threshold": threshold,
+            "width": width,
+            "n_instructions": len(program.instructions),
+            "program": program.name,
+            "table": [None if b is None else burst_to_state(b)
+                      for b in table],
+        }
+        path = self._path(fingerprint, threshold, width)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+        try:
+            with os.fdopen(fd, "w") as fh:
+                json.dump(payload, fh, sort_keys=True)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stores += 1
+        return path
+
+    def on_compiled(self, program, threshold, width):
+        """Program.burst_provider hook: persist a freshly compiled table."""
+        self.store(program, threshold, width)
+
+    def store_compiled(self, program):
+        """Persist every table ``program`` compiled this run."""
+        from repro.analysis import program_fingerprint
+        fingerprint = program_fingerprint(program)
+        for threshold, width in sorted(program._burst_tables):
+            self.store(program, threshold, width, fingerprint=fingerprint)
+
+    # -- bookkeeping -------------------------------------------------------
+
+    def session_stats(self):
+        return {"hits": self.hits, "misses": self.misses,
+                "stores": self.stores, "rejected": self.rejected}
+
+    def entry_count(self):
+        if not self.root.is_dir():
+            return 0
+        return sum(1 for _ in self.root.glob("*/*.json"))
+
+
+__all__ = ["BurstTableCache", "burst_to_state", "burst_from_state",
+           "BURST_CACHE_SCHEMA", "default_burst_cache_dir"]

@@ -1,0 +1,214 @@
+"""File-based job transport behind the serve/submit/jobs CLI verbs.
+
+The spool is a directory two processes share:
+
+* ``<root>/queue/<id>.json`` — submitted specs waiting for a server
+  (written atomically by ``repro-experiments submit``);
+* ``<root>/jobs/<id>/spec.json`` — the claimed spec (the server moves
+  it out of the queue when it accepts the job);
+* ``<root>/jobs/<id>/status.json`` — the job's latest status snapshot,
+  rewritten as points complete;
+* ``<root>/jobs/<id>/results.jsonl`` — one ``RunResult.to_json``
+  payload per line, appended in completion order.
+
+``repro-experiments serve`` runs :func:`serve_forever`: a
+:class:`~repro.service.manager.JobManager` plus a polling loop that
+claims queued specs, mirrors job status back into the spool, and
+appends payloads as they stream.  ``--once`` drains the current queue
+and exits when every claimed job is terminal (the CI smoke lane).
+``repro-experiments jobs`` reads only the spool — it works whether or
+not a server is currently up.
+"""
+
+import json
+import os
+import pathlib
+import tempfile
+import time
+
+from repro.service.jobs import JobSpec, TERMINAL
+
+#: Default spool location (override with --spool).
+SPOOL_DIR_ENV = "REPRO_SPOOL_DIR"
+DEFAULT_SPOOL_DIR = ".repro_spool"
+
+
+def default_spool_dir():
+    return os.environ.get(SPOOL_DIR_ENV, DEFAULT_SPOOL_DIR)
+
+
+def _write_json(path, payload):
+    """Atomic JSON write (temp + rename), like every cache in the repo."""
+    path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp = tempfile.mkstemp(dir=str(path.parent), suffix=".tmp")
+    try:
+        with os.fdopen(fd, "w") as fh:
+            json.dump(payload, fh, sort_keys=True, indent=1)
+        os.replace(tmp, path)
+    except BaseException:
+        try:
+            os.unlink(tmp)
+        except OSError:
+            pass
+        raise
+
+
+class Spool:
+    """One spool directory: submit side and serve side."""
+
+    def __init__(self, root=None):
+        self.root = pathlib.Path(root if root is not None
+                                 else default_spool_dir())
+        self.queue_dir = self.root / "queue"
+        self.jobs_dir = self.root / "jobs"
+
+    # -- submit side -------------------------------------------------------
+
+    def _new_id(self):
+        """Allocate the next free job id (O_EXCL claims it atomically)."""
+        self.queue_dir.mkdir(parents=True, exist_ok=True)
+        taken = set()
+        for d in (self.queue_dir, self.jobs_dir):
+            if d.is_dir():
+                taken.update(p.stem if p.is_file() else p.name
+                             for p in d.iterdir())
+        n = len(taken) + 1
+        while True:
+            job_id = "sj-%05d" % n
+            if job_id not in taken:
+                # Claim via a separate marker so the server never sees
+                # a half-written spec in its *.json scan.
+                try:
+                    fd = os.open(str(self.queue_dir / (job_id + ".claim")),
+                                 os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+                except FileExistsError:
+                    n += 1
+                    continue
+                os.close(fd)
+                return job_id
+            n += 1
+
+    def submit(self, spec):
+        """Queue a spec for the server; returns the spool job id."""
+        job_id = self._new_id()
+        _write_json(self.queue_dir / (job_id + ".json"), spec.to_dict())
+        try:
+            os.unlink(str(self.queue_dir / (job_id + ".claim")))
+        except OSError:
+            pass
+        return job_id
+
+    # -- serve side --------------------------------------------------------
+
+    def pending(self):
+        """Queued (job_id, path) pairs, oldest id first."""
+        if not self.queue_dir.is_dir():
+            return []
+        return sorted((p.stem, p) for p in self.queue_dir.glob("*.json"))
+
+    def claim(self, job_id, path):
+        """Move a queued spec into the job's directory; returns the spec.
+
+        Returns None when the payload is unusable (the file is parked
+        as ``spec.rejected.json`` with a status explaining why, so a
+        bad submission cannot wedge the queue).
+        """
+        job_dir = self.jobs_dir / job_id
+        job_dir.mkdir(parents=True, exist_ok=True)
+        try:
+            payload = json.loads(path.read_text())
+            spec = JobSpec.from_dict(payload)
+        except (ValueError, KeyError, TypeError) as exc:
+            os.replace(path, job_dir / "spec.rejected.json")
+            self.write_status(job_id, {
+                "job_id": job_id, "status": "failed",
+                "error": "unreadable job spec: %s" % exc})
+            return None
+        os.replace(path, job_dir / "spec.json")
+        return spec
+
+    def write_status(self, job_id, snapshot):
+        payload = dict(snapshot)
+        payload["job_id"] = job_id
+        _write_json(self.jobs_dir / job_id / "status.json", payload)
+
+    def append_results(self, job_id, payloads):
+        if not payloads:
+            return
+        path = self.jobs_dir / job_id / "results.jsonl"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        with path.open("a") as fh:
+            for payload in payloads:
+                fh.write(payload)
+                fh.write("\n")
+
+    # -- read side (jobs verb) ---------------------------------------------
+
+    def read_status(self, job_id):
+        path = self.jobs_dir / job_id / "status.json"
+        try:
+            return json.loads(path.read_text())
+        except FileNotFoundError:
+            return None
+        except (ValueError, OSError):
+            return {"job_id": job_id, "status": "unreadable"}
+
+    def read_results(self, job_id):
+        path = self.jobs_dir / job_id / "results.jsonl"
+        try:
+            lines = path.read_text().splitlines()
+        except (FileNotFoundError, OSError):
+            return []
+        return [line for line in lines if line]
+
+    def list_jobs(self):
+        """Status snapshots of every job: queued first, then claimed."""
+        out = []
+        for job_id, _path in self.pending():
+            out.append({"job_id": job_id, "status": "queued"})
+        if self.jobs_dir.is_dir():
+            for job_dir in sorted(self.jobs_dir.iterdir()):
+                status = self.read_status(job_dir.name)
+                if status is not None:
+                    out.append(status)
+        return out
+
+
+def serve_forever(spool, manager, once=False, poll=0.2, max_seconds=None):
+    """Claim queued specs, run them, mirror progress into the spool.
+
+    ``once`` exits when the queue is empty and every claimed job is
+    terminal (CI smoke lane); ``max_seconds`` is a hard wall-clock stop
+    for the loop itself.  Returns the number of jobs served.
+    """
+    live = {}        # spool id -> (manager id, payloads written)
+    served = 0
+    t0 = time.monotonic()
+    try:
+        while True:
+            for job_id, path in spool.pending():
+                spec = spool.claim(job_id, path)
+                if spec is None:
+                    continue
+                live[job_id] = [manager.submit(spec), 0]
+                served += 1
+            for job_id, (mid, n_sent) in list(live.items()):
+                fresh = manager.payloads(mid, start=n_sent)
+                spool.append_results(job_id, fresh)
+                live[job_id][1] = n_sent + len(fresh)
+                status = manager.status(mid)
+                spool.write_status(job_id, status)
+                if status["status"] in TERMINAL:
+                    del live[job_id]
+            if once and not live and not spool.pending():
+                return served
+            if (max_seconds is not None
+                    and time.monotonic() - t0 > max_seconds):
+                return served
+            time.sleep(poll)
+    finally:
+        manager.shutdown(wait=True)
+
+
+__all__ = ["Spool", "serve_forever", "default_spool_dir",
+           "SPOOL_DIR_ENV", "DEFAULT_SPOOL_DIR"]

@@ -43,7 +43,7 @@ def _uniproc_result():
 
 def _mp_result():
     return MPResult(123_456, [_stats(0), _stats(2)],
-                    CachedProtocol(10, 20, 30, 40, 50))
+                    CachedProtocol(10, 20, 30, 40, 50, 60, 70))
 
 
 def _key(**overrides):
@@ -109,6 +109,8 @@ class TestRoundTrips:
         assert len(r2.node_stats) == 2
         assert r2.machine.read_misses == 10
         assert r2.machine.dirty_remote_services == 50
+        assert r2.machine.remote_fills == 60
+        assert r2.machine.nack_retries == 70
         # merged stats are recomputed identically
         assert list(r2.stats.counts) == list(r.stats.counts)
 

@@ -1,0 +1,143 @@
+"""Cross-worker burst-table cache: keying, validation, and the provider
+hook inside ``Program.bursts_for``."""
+
+import json
+
+import pytest
+
+from repro.analysis import program_fingerprint
+from repro.config import PipelineParams
+from repro.isa.program import Program
+from repro.service.burst_cache import BurstTableCache
+from repro.workloads.uniprocessor import build_workload
+
+THRESHOLD = PipelineParams().short_stall_threshold
+
+
+@pytest.fixture
+def program():
+    processes, _instances, _barriers = build_workload("R1", scale=1.0)
+    return processes[0].program
+
+
+@pytest.fixture(autouse=True)
+def no_global_provider():
+    """Tests set Program.burst_provider; never leak it across tests."""
+    yield
+    Program.burst_provider = None
+
+
+def _fresh(program):
+    """A structurally identical program with no compiled tables (as a
+    different worker process would hold it)."""
+    processes, _instances, _barriers = build_workload("R1", scale=1.0)
+    clone = processes[0].program
+    assert program_fingerprint(clone) == program_fingerprint(program)
+    return clone
+
+
+def test_store_then_load_round_trip(tmp_path, program):
+    cache = BurstTableCache(tmp_path)
+    compiled = program.bursts_for(THRESHOLD, 1)
+    cache.store(program, THRESHOLD, 1)
+    assert cache.entry_count() == 1
+
+    clone = _fresh(program)
+    assert cache.load(clone, THRESHOLD, 1)
+    loaded = clone._burst_tables[(THRESHOLD, 1)]
+    assert len(loaded) == len(compiled)
+    for got, want in zip(loaded, compiled):
+        if want is None:
+            assert got is None
+            continue
+        assert (got.start, got.n, got.duration, got.width,
+                got.short_stalls, got.long_stalls, got.guard,
+                got.writes_out) == (
+            want.start, want.n, want.duration, want.width,
+            want.short_stalls, want.long_stalls, want.guard,
+            want.writes_out)
+    assert cache.hits == 1
+
+
+def test_miss_on_absent_entry(tmp_path, program):
+    cache = BurstTableCache(tmp_path)
+    assert not cache.load(program, THRESHOLD, 1)
+    assert cache.misses == 1
+
+
+def test_width_and_threshold_key_separately(tmp_path, program):
+    cache = BurstTableCache(tmp_path)
+    cache.store(program, THRESHOLD, 1)
+    assert not cache.load(_fresh(program), THRESHOLD, 2)
+    assert not cache.load(_fresh(program), THRESHOLD + 1, 1)
+    assert cache.load(_fresh(program), THRESHOLD, 1)
+
+
+def test_corrupt_entry_rejected_and_deleted(tmp_path, program):
+    cache = BurstTableCache(tmp_path)
+    path = cache.store(program, THRESHOLD, 1)
+    path.write_text("{ not json")
+    assert not cache.load(_fresh(program), THRESHOLD, 1)
+    assert cache.rejected == 1
+    assert not path.exists()
+
+
+def test_tampered_table_fails_the_audit(tmp_path, program):
+    """A decodable but wrong table must be caught by audit_bursts."""
+    cache = BurstTableCache(tmp_path)
+    path = cache.store(program, THRESHOLD, 1)
+    payload = json.loads(path.read_text())
+    entry = next(e for e in payload["table"] if e is not None
+                 and e["n"] >= 2)
+    entry["duration"] += 5              # silently slower schedule
+    path.write_text(json.dumps(payload))
+
+    clone = _fresh(program)
+    assert not cache.load(clone, THRESHOLD, 1)
+    assert cache.rejected == 1
+    assert (THRESHOLD, 1) not in clone._burst_tables
+    assert not path.exists()
+
+
+def test_fingerprint_mismatch_is_a_miss(tmp_path, program):
+    cache = BurstTableCache(tmp_path)
+    cache.store(program, THRESHOLD, 1)
+    other = build_workload("DC", scale=1.0)[0][0].program
+    assert program_fingerprint(other) != program_fingerprint(program)
+    assert not cache.load(other, THRESHOLD, 1)
+
+
+def test_provider_hook_publishes_and_reuses(tmp_path, program):
+    """bursts_for() itself consults the installed provider."""
+    cache = BurstTableCache(tmp_path)
+    Program.burst_provider = cache
+    program.bursts_for(THRESHOLD, 1)    # compiles, publishes via hook
+    assert cache.stores == 1
+
+    clone = _fresh(program)
+    table = clone.bursts_for(THRESHOLD, 1)   # loads, no compile
+    assert cache.hits == 1
+    assert table is clone._burst_tables[(THRESHOLD, 1)]
+
+
+def test_loaded_tables_drive_identical_simulation(tmp_path):
+    """A burst run whose tables came from the cache is bit-identical."""
+    from repro.api import Simulation
+    from repro.config import SystemConfig
+    cfg = SystemConfig.fast()
+
+    def run():
+        return Simulation.from_config(
+            cfg, scheme="interleaved", n_contexts=2, seed=1994,
+            engine="burst").load("R1").run(
+                warmup=1_000, measure=6_000).to_json()
+
+    baseline = run()                    # no provider: local compile
+    cache = BurstTableCache(tmp_path)
+    Program.burst_provider = cache
+    first = run()                       # compiles + publishes
+    assert cache.stores > 0
+    second = run()                      # loads from cache
+    assert cache.hits > 0
+    assert first == baseline
+    assert second == baseline

@@ -1,0 +1,252 @@
+"""JobManager end-to-end: bit-identity with the serial path, cache
+read-through, retry/timeout/cancel robustness, and streaming."""
+
+import asyncio
+import json
+
+import pytest
+
+from repro.config import SystemConfig, MultiprocessorParams
+from repro.experiments.cache import ResultCache
+from repro.service import JobManager, JobSpec, JobStatus
+from repro.service.manager import ServiceError
+
+FAST = SystemConfig.fast()
+MPP = MultiprocessorParams(n_nodes=2)
+
+UNIPROC_2PT = (("uniproc", "R1", "single", 1),
+               ("uniproc", "R1", "interleaved", 2))
+
+
+def _spec(points=UNIPROC_2PT, **kwargs):
+    kwargs.setdefault("config", FAST)
+    kwargs.setdefault("mp_params", MPP)
+    kwargs.setdefault("warmup", 1_000)
+    kwargs.setdefault("measure", 6_000)
+    return JobSpec(points=points, **kwargs)
+
+
+def _by_point(payloads):
+    out = {}
+    for p in payloads:
+        d = json.loads(p)
+        out[(d["workload"], d["scheme"], d["n_contexts"])] = p
+    return out
+
+
+def test_smoke_bit_identical_to_serial_sweep(tmp_path):
+    """Submit a 2-point sweep; results must be bit-identical to the
+    serial SweepEngine/facade computation of the same points."""
+    from repro.api import Simulation
+    with JobManager(workers=2, cache=ResultCache(tmp_path / "rc")) as mgr:
+        job_id = mgr.submit(_spec())
+        payloads = mgr.results(job_id, timeout=240)
+        status = mgr.status(job_id)
+    assert status["status"] == JobStatus.COMPLETED
+    assert status["completed"] == 2
+
+    serial = {}
+    for scheme, n in (("single", 1), ("interleaved", 2)):
+        result = Simulation.from_config(
+            FAST, scheme=scheme, n_contexts=n, seed=1994,
+            engine="events").load("R1").run(warmup=1_000, measure=6_000)
+        serial[("R1", scheme, n)] = result.to_json()
+    assert _by_point(payloads) == serial
+
+
+def test_cache_read_through_and_warm_resubmit(tmp_path):
+    cache = ResultCache(tmp_path / "rc")
+    spec = _spec()
+    with JobManager(workers=2, cache=cache) as mgr:
+        first = mgr.results(mgr.submit(spec), timeout=240)
+    assert cache.stores == 2
+
+    with JobManager(workers=2, cache=cache) as mgr:
+        job_id = mgr.submit(spec)
+        second = mgr.results(job_id, timeout=60)
+        status = mgr.status(job_id)
+    # All points satisfied from cache, byte-identical payload stream.
+    assert status["cache_hits"] == 2
+    assert sorted(second) == sorted(first)
+
+
+def test_service_entries_readable_by_batch_cache_get(tmp_path):
+    """What the service writes, ExperimentContext-style reads accept."""
+    cache = ResultCache(tmp_path / "rc")
+    spec = _spec(points=(("uniproc", "R1", "single", 1),))
+    with JobManager(workers=1, cache=cache) as mgr:
+        mgr.results(mgr.submit(spec), timeout=240)
+    point = spec.points[0]
+    result = cache.get(spec.cache_key(point), point.kind)
+    assert result is not None
+    assert result.duration == 6_000
+
+
+def test_worker_death_is_retried(tmp_path):
+    spec = _spec(points=(("uniproc", "R1", "single", 1),), max_retries=3)
+    with JobManager(workers=1, backoff=0.02) as mgr:
+        job_id = mgr.submit(spec, fail_times=2)
+        payloads = mgr.results(job_id, timeout=240)
+        status = mgr.status(job_id)
+    assert status["status"] == JobStatus.COMPLETED
+    assert status["points"][0]["attempts"] == 3
+    assert len(payloads) == 1
+
+
+def test_retries_exhausted_fails_the_job(tmp_path):
+    spec = _spec(points=(("uniproc", "R1", "single", 1),), max_retries=1)
+    with JobManager(workers=1, backoff=0.02) as mgr:
+        job_id = mgr.submit(spec, fail_times=99)
+        with pytest.raises(ServiceError):
+            mgr.results(job_id, timeout=120)
+        status = mgr.status(job_id)
+    assert status["status"] == JobStatus.FAILED
+    assert "died" in status["error"]
+
+
+def test_simulation_error_fails_without_retry(tmp_path):
+    # An unknown workload name raises inside the worker — a
+    # deterministic error, so exactly one attempt must be made.
+    spec = JobSpec(points=(("uniproc", "no-such-workload", "single", 1),),
+                   config=FAST, mp_params=MPP, warmup=100, measure=500,
+                   max_retries=5)
+    with JobManager(workers=1, backoff=0.02) as mgr:
+        job_id = mgr.submit(spec)
+        with pytest.raises(ServiceError):
+            mgr.results(job_id, timeout=120)
+        status = mgr.status(job_id)
+    assert status["status"] == JobStatus.FAILED
+    assert status["points"][0]["attempts"] == 1
+
+
+def test_job_timeout(tmp_path):
+    spec = _spec(points=(("mp", "cholesky", "interleaved", 2),),
+                 timeout=0.15)
+    with JobManager(workers=1) as mgr:
+        job_id = mgr.submit(spec)
+        with pytest.raises(ServiceError):
+            mgr.results(job_id, timeout=60)
+        assert mgr.status(job_id)["status"] == JobStatus.TIMEOUT
+
+
+def test_cancel(tmp_path):
+    with JobManager(workers=1) as mgr:
+        job_id = mgr.submit(_spec(points=(("mp", "mp3d", "single", 1),)))
+        assert mgr.cancel(job_id)
+        assert mgr.status(job_id)["status"] == JobStatus.CANCELLED
+        assert not mgr.cancel(job_id)      # idempotent
+
+
+def test_unknown_job_id():
+    with JobManager(workers=1) as mgr:
+        with pytest.raises(KeyError):
+            mgr.status("job-9999")
+
+
+def test_iter_results_streams_in_completion_order(tmp_path):
+    with JobManager(workers=1, cache=ResultCache(tmp_path / "rc")) as mgr:
+        job_id = mgr.submit(_spec())
+        streamed = list(mgr.iter_results(job_id, timeout=240))
+        final = mgr.results(job_id, timeout=10)
+    assert streamed == final
+
+
+def test_async_stream(tmp_path):
+    async def drain():
+        with JobManager(workers=2) as mgr:
+            job_id = mgr.submit(_spec())
+            got = []
+            async for payload in mgr.stream(job_id):
+                got.append(payload)
+            return got, mgr.status(job_id)
+
+    got, status = asyncio.run(drain())
+    assert status["status"] == JobStatus.COMPLETED
+    assert len(got) == 2
+    assert {json.loads(p)["scheme"] for p in got} == {"single",
+                                                      "interleaved"}
+
+
+def test_async_stream_raises_on_failed_job(tmp_path):
+    async def drain():
+        with JobManager(workers=1, backoff=0.02) as mgr:
+            job_id = mgr.submit(
+                _spec(points=(("uniproc", "R1", "single", 1),),
+                      max_retries=0), fail_times=9)
+            async for _payload in mgr.stream(job_id):
+                pass
+
+    with pytest.raises(ServiceError):
+        asyncio.run(drain())
+
+
+def test_shutdown_flushes_completed_points(tmp_path):
+    """Completed points reach the on-disk cache even when the manager
+    is shut down (flush-on-shutdown is part of graceful stop)."""
+    cache = ResultCache(tmp_path / "rc")
+    with JobManager(workers=2, cache=cache) as mgr:
+        job_id = mgr.submit(_spec())
+        mgr.results(job_id, timeout=240)
+    # context exit ran shutdown(); both points must be on disk
+    assert cache.disk_stats()["entries"] == 2
+
+
+def test_corrupt_cache_entry_recovered_through_manager(tmp_path):
+    """Corruption recovery end-to-end: a corrupted entry is detected,
+    discarded, recomputed by a worker, and rewritten."""
+    cache = ResultCache(tmp_path / "rc")
+    spec = _spec(points=(("uniproc", "R1", "single", 1),))
+    with JobManager(workers=1, cache=cache) as mgr:
+        first = mgr.results(mgr.submit(spec), timeout=240)
+    point = spec.points[0]
+    entry = cache._path(spec.cache_key(point))
+    entry.write_text(entry.read_text()[:40] + "GARBAGE")
+
+    cache2 = ResultCache(tmp_path / "rc")
+    with JobManager(workers=1, cache=cache2) as mgr:
+        job_id = mgr.submit(spec)
+        second = mgr.results(job_id, timeout=240)
+        status = mgr.status(job_id)
+    assert cache2.corrupt == 1
+    assert status["cache_hits"] == 0
+    assert status["points"][0]["source"] == "computed"
+    assert second == first                  # recomputed bit-identically
+    # and the entry is valid again on disk
+    cache3 = ResultCache(tmp_path / "rc")
+    assert cache3.get_state(spec.cache_key(point), point.kind) is not None
+
+
+def test_two_jobs_run_concurrently(tmp_path):
+    with JobManager(workers=2, cache=ResultCache(tmp_path / "rc")) as mgr:
+        a = mgr.submit(_spec(points=(("uniproc", "R1", "single", 1),)))
+        b = mgr.submit(_spec(points=(("dedicated", "mxm", "single", 1),)))
+        ra = mgr.results(a, timeout=240)
+        rb = mgr.results(b, timeout=240)
+        listing = mgr.jobs()
+    assert len(ra) == 1 and len(rb) == 1
+    assert [j["job_id"] for j in listing] == [a, b]
+    assert all(j["status"] == JobStatus.COMPLETED for j in listing)
+
+
+def test_cross_worker_burst_cache_hits(tmp_path):
+    """Acceptance: a burst-engine sweep whose points share a program
+    must hit the shared table cache across worker processes."""
+    spec = _spec(engine="burst")        # two R1 points, one program
+    with JobManager(workers=1,          # serialise: 2nd worker sees
+                    cache=ResultCache(tmp_path / "rc"),   # 1st's store
+                    burst_dir=tmp_path / "bursts") as mgr:
+        job_id = mgr.submit(spec)
+        payloads = mgr.results(job_id, timeout=240)
+        status = mgr.status(job_id)
+    assert status["status"] == JobStatus.COMPLETED
+    assert status["burst_cache"]["hits"] > 0
+    assert status["burst_cache"]["stores"] > 0
+    assert status["burst_cache"]["rejected"] == 0
+
+    # ... and stays bit-identical to the events engine (service-level
+    # restatement of the engines' bit-identity contract).
+    events = _spec()
+    with JobManager(workers=2) as mgr:
+        baseline = mgr.results(mgr.submit(events), timeout=240)
+    assert sorted(json.loads(p)["cycles"] for p in payloads) \
+        == sorted(json.loads(p)["cycles"] for p in baseline)

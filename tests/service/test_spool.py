@@ -1,0 +1,126 @@
+"""Spool transport and the serve/submit/jobs CLI verbs."""
+
+import json
+
+import pytest
+
+from repro.config import SystemConfig, MultiprocessorParams
+from repro.experiments.cache import ResultCache
+from repro.experiments.cli import main as cli_main
+from repro.service import JobManager, JobSpec
+from repro.service.spool import Spool, serve_forever
+
+FAST = SystemConfig.fast()
+MPP = MultiprocessorParams(n_nodes=2)
+
+
+def _spec(points=(("uniproc", "R1", "single", 1),), **kwargs):
+    kwargs.setdefault("config", FAST)
+    kwargs.setdefault("mp_params", MPP)
+    kwargs.setdefault("warmup", 1_000)
+    kwargs.setdefault("measure", 6_000)
+    return JobSpec(points=points, **kwargs)
+
+
+def test_submit_claim_round_trip(tmp_path):
+    spool = Spool(tmp_path)
+    spec = _spec()
+    job_id = spool.submit(spec)
+    assert job_id == "sj-00001"
+    pending = spool.pending()
+    assert [jid for jid, _ in pending] == [job_id]
+    claimed = spool.claim(*pending[0])
+    assert claimed.points == spec.points
+    assert spool.pending() == []
+    assert (spool.jobs_dir / job_id / "spec.json").exists()
+
+
+def test_ids_are_unique_and_ordered(tmp_path):
+    spool = Spool(tmp_path)
+    ids = [spool.submit(_spec()) for _ in range(3)]
+    assert ids == ["sj-00001", "sj-00002", "sj-00003"]
+
+
+def test_bad_spec_is_parked_not_fatal(tmp_path):
+    spool = Spool(tmp_path)
+    spool.queue_dir.mkdir(parents=True, exist_ok=True)
+    (spool.queue_dir / "sj-00001.json").write_text("{ bad json")
+    job_id, path = spool.pending()[0]
+    assert spool.claim(job_id, path) is None
+    assert spool.pending() == []
+    status = spool.read_status(job_id)
+    assert status["status"] == "failed"
+    assert "unreadable" in status["error"]
+
+
+def test_serve_once_runs_queued_jobs(tmp_path):
+    spool = Spool(tmp_path / "sp")
+    job_id = spool.submit(_spec(points=(
+        ("uniproc", "R1", "single", 1),
+        ("uniproc", "R1", "interleaved", 2))))
+    manager = JobManager(workers=2, cache=ResultCache(tmp_path / "rc"))
+    served = serve_forever(spool, manager, once=True, poll=0.02)
+    assert served == 1
+    status = spool.read_status(job_id)
+    assert status["status"] == "completed"
+    assert status["completed"] == 2
+    results = spool.read_results(job_id)
+    assert len(results) == 2
+    assert {json.loads(r)["scheme"] for r in results} == {"single",
+                                                          "interleaved"}
+
+
+def test_cli_submit_serve_jobs_round_trip(tmp_path, capsys):
+    spool_dir = str(tmp_path / "sp")
+    rc = cli_main(["submit", "--spool", spool_dir,
+                   "--warmup", "1000", "--measure", "6000",
+                   "--points",
+                   "uniproc:R1:single:1,uniproc:R1:interleaved:2"])
+    assert rc == 0
+    job_id = capsys.readouterr().out.strip()
+    assert job_id == "sj-00001"
+
+    rc = cli_main(["serve", "--spool", spool_dir, "--once",
+                   "--workers", "2",
+                   "--cache-dir", str(tmp_path / "rc"),
+                   "--burst-cache-dir", str(tmp_path / "bc")])
+    assert rc == 0
+    assert "served 1 job(s)" in capsys.readouterr().err
+
+    rc = cli_main(["jobs", "--spool", spool_dir])
+    assert rc == 0
+    listing = capsys.readouterr().out
+    assert job_id in listing and "completed" in listing
+
+    rc = cli_main(["jobs", job_id, "--spool", spool_dir])
+    assert rc == 0
+    status = json.loads(capsys.readouterr().out)
+    assert status["status"] == "completed"
+    assert status["results"] == 2
+
+
+def test_cli_submit_rejects_bad_point(tmp_path):
+    with pytest.raises(SystemExit):
+        cli_main(["submit", "--spool", str(tmp_path / "sp"),
+                  "--points", "uniproc:R1:single"])
+    with pytest.raises(SystemExit):
+        cli_main(["submit", "--spool", str(tmp_path / "sp"),
+                  "--points", "uniproc:NOPE:single:1"])
+
+
+def test_cli_jobs_unknown_id_errors(tmp_path):
+    with pytest.raises(SystemExit):
+        cli_main(["jobs", "sj-99999", "--spool", str(tmp_path / "sp")])
+
+
+def test_serve_writes_burst_stats_into_status(tmp_path):
+    spool = Spool(tmp_path / "sp")
+    job_id = spool.submit(_spec(points=(
+        ("uniproc", "R1", "single", 1),
+        ("uniproc", "R1", "interleaved", 2)), engine="burst"))
+    manager = JobManager(workers=1, cache=ResultCache(tmp_path / "rc"),
+                         burst_dir=tmp_path / "bc")
+    serve_forever(spool, manager, once=True, poll=0.02)
+    status = spool.read_status(job_id)
+    assert status["burst_cache"]["stores"] > 0
+    assert status["burst_cache"]["hits"] > 0
