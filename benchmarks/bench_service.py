@@ -9,12 +9,21 @@ Submits the same burst-engine sweep job twice through a
   recomputes its simulation but loads its burst tables from the shared
   cache (validated by ``audit_bursts``) instead of compiling.
 
-Records submit-to-first-result latency and points/sec for both runs
-plus the ``warm_speedup`` ratio (warm / cold points-per-sec) — a
-host-independent ratio CI gates against a checked-in baseline
-(``BENCH_service_baseline.json``).  Two correctness gates are
-unconditional: the warm run must *hit* the table cache on every point
-and must never reject an entry.
+then runs the same job a third time as a **net** case: a TCP
+:class:`~repro.service.net.ServiceServer` fronting the manager, with a
+:class:`~repro.service.client.ServiceClient` submitting and streaming
+the results over a real socket (warm burst tables, fresh result cache
+— so the simulation work matches the warm case and the delta is the
+wire).
+
+Records submit-to-first-result latency and points/sec for every run
+plus two host-independent ratios CI gates against a checked-in
+baseline (``BENCH_service_baseline.json``): ``warm_speedup`` (warm /
+cold points-per-sec) and ``net_vs_warm_speedup`` (net / warm — how
+much throughput the TCP hop costs).  Three correctness gates are
+unconditional: the warm run must *hit* the table cache on every point,
+no run may reject a cached entry, and the streamed TCP payloads must
+be byte-identical to the manager's in-process results.
 
 Usage::
 
@@ -82,6 +91,51 @@ def _run_once(burst_dir, result_dir):
     }
 
 
+def _run_net(burst_dir, result_dir):
+    """The same job over a real TCP socket; returns the timing dict.
+
+    Uses the already-warm burst directory with a fresh result cache,
+    so the compute matches the warm in-process run and the measured
+    difference is the protocol itself.
+    """
+    from repro.service import connect
+    from repro.service.net import ServiceServer
+    spec = JobSpec(points=POINTS, config=SystemConfig.fast(),
+                   mp_params=MultiprocessorParams(n_nodes=2),
+                   warmup=WARMUP, measure=MEASURE, engine="burst")
+    with JobManager(workers=WORKERS, cache=ResultCache(result_dir),
+                    burst_dir=burst_dir) as manager:
+        with ServiceServer(manager) as server:
+            with connect(server.host, server.port) as client:
+                t0 = time.perf_counter()
+                job_id = client.submit(spec)
+                first = None
+                streamed = []
+                for payload in client.stream(job_id):
+                    if first is None:
+                        first = time.perf_counter() - t0
+                    streamed.append(payload)
+                total = time.perf_counter() - t0
+                status = client.status(job_id)
+            stats = server.stats.snapshot()
+        direct = manager.results(job_id, timeout=600)
+    if status["status"] != "completed" or len(streamed) != len(POINTS):
+        raise RuntimeError("network benchmark job did not complete: %r"
+                           % (status,))
+    if streamed != direct:
+        raise RuntimeError(
+            "TCP stream diverged from the in-process results")
+    return {
+        "submit_to_first_result_seconds": round(first, 3),
+        "total_seconds": round(total, 3),
+        "points_per_second": round(len(streamed) / total, 3),
+        "burst": status["burst_cache"],
+        "server": {key: stats[key] for key in
+                   ("requests", "bytes_in", "bytes_out", "frames_out",
+                    "streams", "resumes")},
+    }
+
+
 def run_benchmark():
     root = tempfile.mkdtemp(prefix="bench_service_")
     try:
@@ -90,19 +144,26 @@ def run_benchmark():
         # Fresh result cache: the simulations recompute, only the
         # compiled burst tables carry over.
         warm = _run_once(burst_dir, os.path.join(root, "rc_warm"))
+        net = _run_net(burst_dir, os.path.join(root, "rc_net"))
     finally:
         shutil.rmtree(root, ignore_errors=True)
-    case = {
+    sweep_case = {
         "cold": cold,
         "warm": warm,
         "warm_speedup": round(warm["points_per_second"]
                               / cold["points_per_second"], 3),
     }
+    net_case = {
+        "net": net,
+        "net_vs_warm_speedup": round(net["points_per_second"]
+                                     / warm["points_per_second"], 3),
+    }
     return {
         "benchmark": "bench_service",
         "n_points": len(POINTS),
         "workers": WORKERS,
-        "cases": {"service_burst_sweep": case},
+        "cases": {"service_burst_sweep": sweep_case,
+                  "service_net_stream": net_case},
         "host": {"python": platform.python_version(),
                  "machine": platform.machine(),
                  "cpus": os.cpu_count()},
@@ -123,20 +184,29 @@ def check(payload, baseline, max_regression):
         if case[phase]["burst"]["rejected"]:
             failures.append("%s run rejected %d cached burst tables"
                             % (phase, case[phase]["burst"]["rejected"]))
+    net = payload["cases"]["service_net_stream"]["net"]
+    if net["burst"]["rejected"]:
+        failures.append("net run rejected %d cached burst tables"
+                        % (net["burst"]["rejected"],))
     if baseline is not None:
-        base = baseline["cases"]["service_burst_sweep"]
-        for key, base_ratio in base.items():
-            if not key.endswith("speedup"):
+        for case_name, base in baseline["cases"].items():
+            measured = payload["cases"].get(case_name)
+            if measured is None:
+                failures.append("case %r in baseline but not measured"
+                                % (case_name,))
                 continue
-            ratio = case.get(key)
-            floor = base_ratio * (1.0 - max_regression)
-            if ratio is None or ratio < floor:
-                failures.append(
-                    "service_burst_sweep: %s %s below floor %.2fx "
-                    "(baseline %.2fx, max regression %.0f%%)"
-                    % (key, "%.2fx" % ratio if ratio is not None
-                       else "missing", floor, base_ratio,
-                       max_regression * 100))
+            for key, base_ratio in base.items():
+                if not key.endswith("speedup"):
+                    continue
+                ratio = measured.get(key)
+                floor = base_ratio * (1.0 - max_regression)
+                if ratio is None or ratio < floor:
+                    failures.append(
+                        "%s: %s %s below floor %.2fx "
+                        "(baseline %.2fx, max regression %.0f%%)"
+                        % (case_name, key, "%.2fx" % ratio
+                           if ratio is not None else "missing",
+                           floor, base_ratio, max_regression * 100))
     return failures
 
 
@@ -156,6 +226,7 @@ def main(argv=None):
     payload = run_benchmark()
     write_json(args.out, payload)
     case = payload["cases"]["service_burst_sweep"]
+    net_case = payload["cases"]["service_net_stream"]
     print(json.dumps({
         "submit_to_first_result_seconds": {
             phase: case[phase]["submit_to_first_result_seconds"]
@@ -165,6 +236,13 @@ def main(argv=None):
             for phase in ("cold", "warm")},
         "warm_speedup": case["warm_speedup"],
         "warm_burst": case["warm"]["burst"],
+        "net": {
+            "submit_to_first_result_seconds":
+                net_case["net"]["submit_to_first_result_seconds"],
+            "points_per_second": net_case["net"]["points_per_second"],
+            "bytes_out": net_case["net"]["server"]["bytes_out"],
+        },
+        "net_vs_warm_speedup": net_case["net_vs_warm_speedup"],
     }, indent=2))
     print("wrote %s" % args.out)
 

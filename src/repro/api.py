@@ -79,10 +79,16 @@ class RunResult:
     per_process: dict         # process/thread name -> retired
     raw: object = field(default=None, repr=False, compare=False)
 
+    #: Version of the ``to_json`` payload layout.  Carried in every
+    #: serialized result so remote clients (the service wire protocol,
+    #: archived ``results.jsonl`` files) can detect layout drift.
+    SCHEMA_VERSION = 1
+
     def to_json(self, indent=None):
         """Stable JSON rendering (sorted keys, ``raw`` excluded)."""
         payload = {f.name: getattr(self, f.name) for f in fields(self)
                    if f.name != "raw"}
+        payload["schema_version"] = self.SCHEMA_VERSION
         return json.dumps(payload, sort_keys=True, indent=indent)
 
     def with_workload(self, workload):

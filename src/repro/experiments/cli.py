@@ -21,6 +21,7 @@ import argparse
 import os
 import sys
 import time
+import warnings
 
 from repro.experiments import (
     figure2,
@@ -223,17 +224,68 @@ def _service_spec(args):
     return JobSpec.sweep(workloads=workloads, apps=apps, **kwargs)
 
 
+def _spool_root(args):
+    """The spool directory, honouring the deprecated positional form.
+
+    ``repro-experiments submit <dir>`` (the spool directory as the
+    positional action) predates ``--spool``; it still works but warns,
+    mirroring the ``run(cycles)`` deprecation shim on the simulators.
+    """
+    if args.action is not None:
+        looks_like_path = (os.sep in args.action
+                           or args.action in (".", "..")
+                           or os.path.isdir(args.action))
+        if args.experiment in ("submit", "serve") or (
+                args.experiment == "jobs" and looks_like_path):
+            warnings.warn(
+                "passing the spool directory positionally is "
+                "deprecated; use --spool %s" % args.action,
+                DeprecationWarning, stacklevel=2)
+            root, args.action = args.action, None
+            return root
+    return args.spool
+
+
+def _client_transport(args):
+    """The Transport a client verb should use: TCP or spool."""
+    from repro.service import connect, open_spool
+    if args.connect:
+        return connect(args.connect)
+    return open_spool(_spool_root(args))
+
+
+def _transport_name(transport):
+    from repro.service.spool import SpoolTransport
+    if isinstance(transport, SpoolTransport):
+        return str(transport.root)
+    return "%s:%d" % (transport.host, transport.port)
+
+
 def _submit(args):
-    """The 'submit' verb: queue a job spec in the spool, print its id."""
-    from repro.service.spool import Spool
-    spool = Spool(args.spool)
-    job_id = spool.submit(_service_spec(args))
-    print(job_id)
+    """The 'submit' verb: queue a job, print its id (optionally stream).
+
+    ``--spool`` queues into a shared directory; ``--connect HOST:PORT``
+    submits over TCP to a ``serve --listen`` process — same spec, same
+    results, no shared filesystem.
+    """
+    spec = _service_spec(args)
+    with _client_transport(args) as transport:
+        job_id = transport.submit(
+            spec, idempotency_key=args.idempotency_key)
+        print(job_id)
+        if args.stream:
+            for payload in transport.stream(job_id):
+                print(payload)
     return 0
 
 
-def _serve(args):
-    """The 'serve' verb: run queued spool jobs on a worker pool."""
+def _serve(args, _ready=None):
+    """The 'serve' verb: run submitted jobs on a worker pool.
+
+    Without ``--listen`` it polls the spool directory (the historical
+    transport); with ``--listen HOST:PORT`` it serves the TCP protocol
+    of :mod:`repro.service.net` instead.
+    """
     from repro.experiments.cache import ResultCache
     from repro.service import JobManager
     from repro.service.burst_cache import default_burst_cache_dir
@@ -245,7 +297,29 @@ def _serve(args):
         burst_dir=(args.burst_cache_dir if args.burst_cache_dir is not None
                    else default_burst_cache_dir()),
         default_timeout=args.job_timeout)
-    spool = Spool(args.spool)
+    if args.listen:
+        from repro.service.net import ServiceServer, parse_address
+        host, port = parse_address(args.listen)
+        server = ServiceServer(manager, host=host, port=port)
+
+        def announce(srv):
+            print("listening on %s:%d with %d worker(s)"
+                  % (srv.host, srv.port, args.workers), file=sys.stderr)
+            if _ready is not None:     # test seam: report the bound port
+                _ready(srv.host, srv.port)
+
+        try:
+            server.serve(max_seconds=args.serve_seconds, ready=announce)
+        except KeyboardInterrupt:
+            pass
+        finally:
+            manager.shutdown(wait=True)
+        stats = server.stats.snapshot()
+        print("served %d request(s) over %d connection(s)"
+              % (stats["requests"], stats["connections"]),
+              file=sys.stderr)
+        return 0
+    spool = Spool(_spool_root(args))
     print("serving spool %s with %d worker(s)%s"
           % (spool.root, args.workers, " (once)" if args.once else ""),
           file=sys.stderr)
@@ -256,34 +330,40 @@ def _serve(args):
 
 
 def _jobs(args):
-    """The 'jobs' verb: list spool jobs, or show one job in full."""
+    """The 'jobs' verb: list jobs, or show one job in full.
+
+    Reads through the same Transport as 'submit': the spool files
+    directly (works with no server up), or a ``serve --listen`` server
+    via ``--connect``.
+    """
     import json as _json
-    from repro.service.spool import Spool
-    spool = Spool(args.spool)
-    if args.action:
-        status = spool.read_status(args.action)
-        if status is None:
-            queued = dict(spool.pending())
-            if args.action in queued:
-                print(_json.dumps({"job_id": args.action,
-                                   "status": "queued"}, indent=2))
-                return 0
-            sys.exit("error: unknown job id %r under %s"
-                     % (args.action, spool.root))
-        status["results"] = len(spool.read_results(args.action))
-        print(_json.dumps(status, indent=2, sort_keys=True))
-        return 0
-    statuses = spool.list_jobs()
-    if not statuses:
-        print("no jobs under %s" % spool.root)
-        return 0
-    print("%-10s %-10s %9s %9s %6s" % ("JOB", "STATUS", "COMPLETED",
-                                       "POINTS", "HITS"))
-    for st in statuses:
-        print("%-10s %-10s %9s %9s %6s"
-              % (st.get("job_id", "?"), st.get("status", "?"),
-                 st.get("completed", "-"), st.get("n_points", "-"),
-                 st.get("cache_hits", "-")))
+    from repro.service import ServiceError
+    transport = _client_transport(args)
+    with transport:
+        where = _transport_name(transport)
+        if args.action:
+            try:
+                status = dict(transport.status(args.action))
+            except (KeyError, ServiceError):
+                sys.exit("error: unknown job id %r under %s"
+                         % (args.action, where))
+            try:
+                status["results"] = len(transport.payloads(args.action))
+            except (KeyError, ServiceError):
+                status["results"] = 0
+            print(_json.dumps(status, indent=2, sort_keys=True))
+            return 0
+        statuses = transport.jobs()
+        if not statuses:
+            print("no jobs under %s" % where)
+            return 0
+        print("%-10s %-10s %9s %9s %6s" % ("JOB", "STATUS", "COMPLETED",
+                                           "POINTS", "HITS"))
+        for st in statuses:
+            print("%-10s %-10s %9s %9s %6s"
+                  % (st.get("job_id", "?"), st.get("status", "?"),
+                     st.get("completed", "-"), st.get("n_points", "-"),
+                     st.get("cache_hits", "-")))
     return 0
 
 
@@ -377,7 +457,7 @@ EXPERIMENTS = {
 }
 
 
-def main(argv=None):
+def main(argv=None, _ready=None):
     from repro.experiments.cache import ResultCache, default_cache_dir
     parser = argparse.ArgumentParser(
         description="Regenerate the paper's tables and figures.")
@@ -441,6 +521,23 @@ def main(argv=None):
         help="spool directory shared by serve/submit/jobs (default "
              "$REPRO_SPOOL_DIR or .repro_spool)")
     service_group.add_argument(
+        "--listen", default=None, metavar="HOST:PORT",
+        help="'serve': listen for TCP clients on HOST:PORT instead of "
+             "polling the spool directory (PORT 0 = ephemeral)")
+    service_group.add_argument(
+        "--connect", default=None, metavar="HOST:PORT",
+        help="'submit'/'jobs': talk to a 'serve --listen' server over "
+             "TCP instead of the spool directory")
+    service_group.add_argument(
+        "--stream", action="store_true",
+        help="'submit': after printing the job id, stream each "
+             "result payload to stdout as its point completes")
+    service_group.add_argument(
+        "--idempotency-key", default=None,
+        help="'submit': client-chosen key; re-submitting with the same "
+             "key returns the existing job id instead of duplicating "
+             "the work (--connect submits always carry one)")
+    service_group.add_argument(
         "--points", default=None,
         help="'submit': explicit comma-separated points as "
              "kind:name:scheme:n_contexts (e.g. uniproc:R1:single:1,"
@@ -500,7 +597,7 @@ def main(argv=None):
     if args.experiment == "submit":
         return _submit(args)
     if args.experiment == "serve":
-        return _serve(args)
+        return _serve(args, _ready=_ready)
     if args.experiment == "jobs":
         return _jobs(args)
 

@@ -33,6 +33,10 @@ TERMINAL = (COMPLETED, FAILED, CANCELLED, TIMEOUT)
 #: JSON schema number of the spool/spec payloads.
 SPEC_SCHEMA = 1
 
+#: JSON schema number of the status snapshots (spool status.json and
+#: the wire protocol's ``status`` responses).
+STATUS_SCHEMA = 1
+
 
 class JobStatus:
     """Constants namespace (importable as ``JobStatus.COMPLETED`` etc.)."""
@@ -116,7 +120,10 @@ class JobSpec:
                 "only the 'fast'/'paper' profiles round-trip through the "
                 "spool; submit custom configs through JobManager.submit")
         return {
+            # "schema" is the historical name of this field; both are
+            # written so pre-network spools and new clients interoperate.
             "schema": SPEC_SCHEMA,
+            "schema_version": SPEC_SCHEMA,
             "profile": profile,
             "nodes": self.mp_params.n_nodes,
             "seed": self.seed,
@@ -131,9 +138,14 @@ class JobSpec:
 
     @classmethod
     def from_dict(cls, payload):
-        if payload.get("schema") != SPEC_SCHEMA:
+        # Either field name is accepted (old spools wrote "schema",
+        # the wire protocol writes "schema_version") but every version
+        # present must match — a disagreement means a corrupt payload.
+        versions = {payload[k] for k in ("schema", "schema_version")
+                    if k in payload} or {None}
+        if versions != {SPEC_SCHEMA}:
             raise ValueError("unsupported job spec schema %r"
-                             % (payload.get("schema"),))
+                             % (sorted(versions, key=repr),))
         config = (SystemConfig.paper() if payload.get("profile") == "paper"
                   else SystemConfig.fast())
         mp_params = MultiprocessorParams(
@@ -224,6 +236,7 @@ class JobRecord:
         with self.cond:
             done, failed = self.counts()
             return {
+                "schema_version": STATUS_SCHEMA,
                 "job_id": self.job_id,
                 "status": self.status,
                 "error": self.error,
@@ -257,4 +270,4 @@ class JobRecord:
 
 __all__ = ["JobSpec", "JobRecord", "JobStatus", "PointState",
            "PENDING", "RUNNING", "COMPLETED", "FAILED", "CANCELLED",
-           "TIMEOUT", "TERMINAL", "SPEC_SCHEMA"]
+           "TIMEOUT", "TERMINAL", "SPEC_SCHEMA", "STATUS_SCHEMA"]

@@ -223,6 +223,16 @@ class JobManager:
         with record.cond:
             return list(record.payloads[start:])
 
+    def wait_payload(self, job_id, index, timeout=None):
+        """Block until payload ``index`` exists or the job is terminal.
+
+        The seam the network transport streams through: each call
+        delivers exactly one payload (or None at end-of-job), so a
+        resumed stream can restart from any index without replaying —
+        or losing — earlier points.
+        """
+        return self._record(job_id).wait_payload(index, timeout=timeout)
+
     def cancel(self, job_id):
         """Stop a job (idempotent); True when this call stopped it."""
         record = self._record(job_id)

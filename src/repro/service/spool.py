@@ -20,17 +20,23 @@ and exits when every claimed job is terminal (the CI smoke lane).
 not a server is currently up.
 """
 
+import hashlib
 import json
 import os
 import pathlib
 import tempfile
 import time
 
-from repro.service.jobs import JobSpec, TERMINAL
+from repro.service.jobs import JobSpec, COMPLETED, TERMINAL
 
 #: Default spool location (override with --spool).
 SPOOL_DIR_ENV = "REPRO_SPOOL_DIR"
 DEFAULT_SPOOL_DIR = ".repro_spool"
+
+#: Claim markers older than this (seconds) are presumed orphaned by a
+#: submitter that died between claiming an id and writing its spec;
+#: :func:`serve_forever` sweeps them so the id pool self-heals.
+CLAIM_MAX_AGE = 60.0
 
 
 def default_spool_dir():
@@ -97,6 +103,36 @@ class Spool:
         except OSError:
             pass
         return job_id
+
+    def sweep_stale_claims(self, max_age=CLAIM_MAX_AGE):
+        """Remove orphaned ``*.claim`` markers; returns how many.
+
+        A submitter that dies between ``_new_id``'s O_EXCL claim and
+        the spec write (or between the write and the unlink) strands a
+        marker, permanently retiring that id from the allocator.  Any
+        marker older than ``max_age`` whose spec never appeared is such
+        an orphan — a live submit holds its marker for milliseconds.
+        """
+        if not self.queue_dir.is_dir():
+            return 0
+        now = time.time()
+        swept = 0
+        for marker in self.queue_dir.glob("*.claim"):
+            try:
+                age = now - marker.stat().st_mtime
+            except OSError:
+                continue               # unlinked under us: not stale
+            if age < max_age:
+                continue
+            # Either the spec was written (the *.json stem keeps the id
+            # taken) or the submitter died (the id should return to the
+            # pool): the marker is safe to drop in both cases.
+            try:
+                marker.unlink()
+                swept += 1
+            except OSError:
+                pass
+        return swept
 
     # -- serve side --------------------------------------------------------
 
@@ -173,19 +209,62 @@ class Spool:
                     out.append(status)
         return out
 
+    # -- cancellation markers ----------------------------------------------
 
-def serve_forever(spool, manager, once=False, poll=0.2, max_seconds=None):
+    def request_cancel(self, job_id):
+        """Ask the serving process to cancel a claimed job."""
+        path = self.jobs_dir / job_id / "cancel.request"
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.touch()
+
+    def cancel_requested(self, job_id):
+        return (self.jobs_dir / job_id / "cancel.request").exists()
+
+    def clear_cancel(self, job_id):
+        try:
+            os.unlink(str(self.jobs_dir / job_id / "cancel.request"))
+        except OSError:
+            pass
+
+    # -- idempotency keys --------------------------------------------------
+
+    def _idem_path(self, key):
+        digest = hashlib.sha256(key.encode("utf-8")).hexdigest()[:32]
+        return self.root / "idem" / (digest + ".json")
+
+    def recall_submission(self, key):
+        """The job id previously recorded for ``key``, if any."""
+        try:
+            return json.loads(
+                self._idem_path(key).read_text())["job_id"]
+        except (OSError, ValueError, KeyError):
+            return None
+
+    def record_submission(self, key, job_id):
+        _write_json(self._idem_path(key), {"key": key, "job_id": job_id})
+
+
+def serve_forever(spool, manager, once=False, poll=0.2, max_seconds=None,
+                  claim_max_age=CLAIM_MAX_AGE):
     """Claim queued specs, run them, mirror progress into the spool.
 
     ``once`` exits when the queue is empty and every claimed job is
     terminal (CI smoke lane); ``max_seconds`` is a hard wall-clock stop
-    for the loop itself.  Returns the number of jobs served.
+    for the loop itself.  Each pass also sweeps orphaned ``*.claim``
+    markers older than ``claim_max_age`` (a submitter that died mid-
+    submit) and honours client ``cancel.request`` markers.  Returns the
+    number of jobs served.
     """
     live = {}        # spool id -> (manager id, payloads written)
     served = 0
     t0 = time.monotonic()
+    last_sweep = 0.0
     try:
         while True:
+            now = time.monotonic()
+            if now - last_sweep >= min(claim_max_age, 5.0):
+                spool.sweep_stale_claims(max_age=claim_max_age)
+                last_sweep = now
             for job_id, path in spool.pending():
                 spec = spool.claim(job_id, path)
                 if spec is None:
@@ -193,6 +272,9 @@ def serve_forever(spool, manager, once=False, poll=0.2, max_seconds=None):
                 live[job_id] = [manager.submit(spec), 0]
                 served += 1
             for job_id, (mid, n_sent) in list(live.items()):
+                if spool.cancel_requested(job_id):
+                    manager.cancel(mid)
+                    spool.clear_cancel(job_id)
                 fresh = manager.payloads(mid, start=n_sent)
                 spool.append_results(job_id, fresh)
                 live[job_id][1] = n_sent + len(fresh)
@@ -210,5 +292,146 @@ def serve_forever(spool, manager, once=False, poll=0.2, max_seconds=None):
         manager.shutdown(wait=True)
 
 
-__all__ = ["Spool", "serve_forever", "default_spool_dir",
-           "SPOOL_DIR_ENV", "DEFAULT_SPOOL_DIR"]
+class SpoolTransport:
+    """The filesystem implementation of the Transport API.
+
+    Wraps a :class:`Spool` so CLI verbs and user code written against
+    :class:`repro.service.Transport` run unchanged over a shared
+    directory (this class) or a TCP connection
+    (:class:`repro.service.client.ServiceClient`).  Blocking calls
+    (``results``, ``stream``) poll the spool files a serving process
+    rewrites; ``cancel`` drops a marker that :func:`serve_forever`
+    honours.
+    """
+
+    def __init__(self, root=None, poll=0.1):
+        self.spool = root if isinstance(root, Spool) else Spool(root)
+        self.poll = poll
+
+    @property
+    def root(self):
+        return self.spool.root
+
+    def submit(self, spec, idempotency_key=None):
+        """Queue a spec; returns its job id.
+
+        With an ``idempotency_key``, a repeated submit returns the job
+        id recorded for that key instead of queueing the work again.
+        """
+        if isinstance(spec, dict):
+            spec = JobSpec.from_dict(spec)
+        if idempotency_key is not None:
+            existing = self.spool.recall_submission(idempotency_key)
+            if existing is not None:
+                return existing
+        job_id = self.spool.submit(spec)
+        if idempotency_key is not None:
+            self.spool.record_submission(idempotency_key, job_id)
+        return job_id
+
+    def status(self, job_id):
+        status = self.spool.read_status(job_id)
+        if status is not None:
+            return status
+        if any(jid == job_id for jid, _ in self.spool.pending()):
+            return {"job_id": job_id, "status": "queued"}
+        if (self.spool.jobs_dir / job_id / "spec.json").exists():
+            # Claimed but the server has not written status.json yet.
+            return {"job_id": job_id, "status": "claimed"}
+        raise KeyError("unknown job id %r under %s"
+                       % (job_id, self.spool.root))
+
+    def _wait_terminal(self, job_id, timeout):
+        from repro.service.manager import ServiceError
+        deadline = (time.monotonic() + timeout
+                    if timeout is not None else None)
+        while True:
+            status = self.status(job_id)
+            if status.get("status") in TERMINAL:
+                return status
+            if deadline is not None and time.monotonic() > deadline:
+                raise ServiceError(
+                    "job %s still %s after %.1f s"
+                    % (job_id, status.get("status"), timeout))
+            time.sleep(self.poll)
+
+    def results(self, job_id, timeout=None):
+        """Block until the job completes; returns its payload list."""
+        from repro.service.manager import ServiceError
+        status = self._wait_terminal(job_id, timeout)
+        if status.get("status") != COMPLETED:
+            raise ServiceError(
+                "job %s %s%s" % (job_id, status.get("status"),
+                                 ": %s" % status["error"]
+                                 if status.get("error") else ""))
+        return self.spool.read_results(job_id)
+
+    def payloads(self, job_id, from_index=0):
+        """Non-blocking: payloads appended so far, from ``from_index``."""
+        return self.spool.read_results(job_id)[from_index:]
+
+    def stream(self, job_id, from_index=0):
+        """Yield payloads as the serving process appends them."""
+        from repro.service.manager import ServiceError
+        index = from_index
+        while True:
+            lines = self.spool.read_results(job_id)
+            while index < len(lines):
+                yield lines[index]
+                index += 1
+            status = self.status(job_id)
+            if status.get("status") in TERMINAL:
+                # Drain the window between the last status write and
+                # the last results append.
+                for line in self.spool.read_results(job_id)[index:]:
+                    yield line
+                if status.get("status") != COMPLETED:
+                    raise ServiceError("job %s %s"
+                                       % (job_id, status.get("status")))
+                return
+            time.sleep(self.poll)
+
+    def cancel(self, job_id, timeout=30.0):
+        """Cancel a queued or claimed job; True when it ends cancelled.
+
+        A still-queued spec is withdrawn directly; a claimed job gets a
+        ``cancel.request`` marker and this call waits (bounded by
+        ``timeout``) for the serving process to acknowledge it.
+        """
+        from repro.service.manager import ServiceError
+        for jid, path in self.spool.pending():
+            if jid == job_id:
+                try:
+                    os.unlink(str(path))
+                except OSError:
+                    return False
+                self.spool.write_status(job_id, {
+                    "job_id": job_id, "status": "cancelled",
+                    "error": "cancelled before a server claimed it"})
+                return True
+        status = self.status(job_id)
+        if status.get("status") in TERMINAL:
+            return False
+        self.spool.request_cancel(job_id)
+        try:
+            status = self._wait_terminal(job_id, timeout)
+        except ServiceError:
+            return False
+        return status.get("status") == "cancelled"
+
+    def jobs(self):
+        return self.spool.list_jobs()
+
+    def close(self):
+        """Nothing to release; exists for Transport symmetry."""
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc):
+        self.close()
+
+
+__all__ = ["Spool", "SpoolTransport", "serve_forever",
+           "default_spool_dir", "SPOOL_DIR_ENV", "DEFAULT_SPOOL_DIR",
+           "CLAIM_MAX_AGE"]

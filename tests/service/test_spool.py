@@ -124,3 +124,77 @@ def test_serve_writes_burst_stats_into_status(tmp_path):
     status = spool.read_status(job_id)
     assert status["burst_cache"]["stores"] > 0
     assert status["burst_cache"]["hits"] > 0
+
+
+# -- stale claim markers (a submitter killed mid-submit) -------------------
+
+def _age(path, seconds):
+    import os
+    old = path.stat().st_mtime - seconds
+    os.utime(str(path), (old, old))
+
+
+def test_killed_submit_strands_claim_and_retires_the_id(tmp_path):
+    """Regression setup: a submitter dying between the O_EXCL claim and
+    the spec write leaves a marker that retires the id forever."""
+    import repro.service.spool as spool_mod
+    spool = Spool(tmp_path / "sp")
+    real_write = spool_mod._write_json
+
+    def killed_write(path, payload):     # dies before the spec lands
+        raise KeyboardInterrupt("submitter killed mid-submit")
+
+    spool_mod._write_json = killed_write
+    try:
+        with pytest.raises(KeyboardInterrupt):
+            spool.submit(_spec())
+    finally:
+        spool_mod._write_json = real_write
+    assert list(spool.queue_dir.glob("*.claim")) == [
+        spool.queue_dir / "sj-00001.claim"]
+    # the orphaned marker retires sj-00001: the next submit skips it
+    assert spool.submit(_spec()) == "sj-00002"
+
+
+def test_sweep_stale_claims_recovers_the_id(tmp_path):
+    spool = Spool(tmp_path / "sp")
+    marker = spool.queue_dir / "sj-00001.claim"
+    spool.queue_dir.mkdir(parents=True)
+    marker.touch()
+    # a fresh marker is a live submit in flight: never swept
+    assert spool.sweep_stale_claims(max_age=60.0) == 0
+    _age(marker, 120.0)
+    assert spool.sweep_stale_claims(max_age=60.0) == 1
+    assert not marker.exists()
+    # the allocator hands the recovered id out again
+    assert spool.submit(_spec()) == "sj-00001"
+
+
+def test_serve_forever_sweeps_stale_claims(tmp_path):
+    """The serving loop itself clears orphans, so a long-lived server
+    heals a spool no matter which client died into it."""
+    spool = Spool(tmp_path / "sp")
+    job_id = spool.submit(_spec())
+    stale = spool.queue_dir / "sj-09999.claim"
+    stale.touch()
+    _age(stale, 120.0)
+    manager = JobManager(workers=1, cache=ResultCache(tmp_path / "rc"))
+    serve_forever(spool, manager, once=True, poll=0.02)
+    assert not stale.exists()
+    assert spool.read_status(job_id)["status"] == "completed"
+
+
+def test_completed_job_claim_leftover_is_safe_to_sweep(tmp_path):
+    """A marker whose spec DID land (then got claimed by a server) is
+    also swept without disturbing the job's directory."""
+    spool = Spool(tmp_path / "sp")
+    job_id = spool.submit(_spec())
+    # simulate the unlink in submit() having been lost (e.g. ENOSPC)
+    leftover = spool.queue_dir / (job_id + ".claim")
+    leftover.touch()
+    _age(leftover, 120.0)
+    manager = JobManager(workers=1, cache=ResultCache(tmp_path / "rc"))
+    serve_forever(spool, manager, once=True, poll=0.02)
+    assert not leftover.exists()
+    assert spool.read_status(job_id)["status"] == "completed"
+    assert len(spool.read_results(job_id)) == 1
