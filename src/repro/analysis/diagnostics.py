@@ -83,6 +83,11 @@ CATALOG = {
                     "(use '# lint: allow(CODE) -- why')"),
     "L502": (WARNING, "allowlist directive names an unknown diagnostic "
                       "code"),
+    # -- scoreboard backend parity ----------------------------------------
+    "L601": (ERROR, "backend parity: the python and numpy scoreboard "
+                    "backends expose different method sets"),
+    "L602": (ERROR, "backend parity: the python and numpy scoreboard "
+                    "backends declare different __slots__ state"),
 }
 
 

@@ -1,0 +1,132 @@
+"""Scoreboard backend-parity lint pass (L6xx).
+
+The vectorised scoreboard backend is only safe because it is a drop-in
+replacement: :class:`~repro.pipeline.scoreboard.NumpyScoreboard` must
+expose exactly the method surface and per-instance state of the pure-
+python :class:`~repro.pipeline.scoreboard.Scoreboard`, or a backend
+switch changes behaviour in whatever code path touches the missing
+piece.  The differential harness catches *observable* drift at runtime;
+this pass catches the drift statically, on every path:
+
+* **L601 — method parity.**  The two classes must define the same
+  method names with the same positional signatures (name, arg names,
+  defaults count).  A method added to one backend and forgotten on the
+  other is the exact bug class that surfaces as an ``AttributeError``
+  only when someone flips ``backend=``.
+* **L602 — state parity.**  Both classes must declare ``__slots__``
+  (so stray attributes fail loudly at runtime) and the slot sets must
+  be identical — the backends advertise the same per-instance state,
+  which the property tests compare element-wise.
+
+Like the other project rules, extraction is shape-based and loud: if a
+refactor renames the classes or drops ``__slots__``, the rule reports a
+"could not locate" diagnostic instead of silently proving nothing.
+"""
+
+import ast
+from pathlib import Path
+
+from repro.analysis.diagnostics import Diagnostic
+
+_SCOREBOARD_FILE = "pipeline/scoreboard.py"
+_PYTHON_CLASS = "Scoreboard"
+_NUMPY_CLASS = "NumpyScoreboard"
+
+
+def _package_root(root):
+    if root is not None:
+        return Path(root)
+    return Path(__file__).resolve().parents[2]
+
+
+def _find_class(tree, name):
+    for node in ast.walk(tree):
+        if isinstance(node, ast.ClassDef) and node.name == name:
+            return node
+    return None
+
+
+def _methods(cls):
+    """{name: (arg names tuple, n_defaults)} of a class's def statements."""
+    out = {}
+    for stmt in cls.body:
+        if isinstance(stmt, ast.FunctionDef):
+            args = stmt.args
+            names = tuple(a.arg for a in args.args)
+            out[stmt.name] = (names, len(args.defaults))
+    return out
+
+
+def _class_slots(cls):
+    for stmt in cls.body:
+        if isinstance(stmt, ast.Assign):
+            for t in stmt.targets:
+                if isinstance(t, ast.Name) and t.id == "__slots__":
+                    if isinstance(stmt.value, (ast.Tuple, ast.List)):
+                        return {elt.value for elt in stmt.value.elts
+                                if isinstance(elt, ast.Constant)}
+    return None
+
+
+def check_backend_parity(root=None):
+    """L601/L602 over ``pipeline/scoreboard.py`` under ``root``."""
+    root = _package_root(root)
+    path = root / "pipeline" / "scoreboard.py"
+    if not path.exists():
+        return [Diagnostic(
+            "L601", "no pipeline/scoreboard.py under %s — the backend "
+            "parity proof has nothing to check" % root,
+            path=_SCOREBOARD_FILE)]
+    tree = ast.parse(path.read_text(encoding="utf-8"), filename=str(path))
+    py_cls = _find_class(tree, _PYTHON_CLASS)
+    np_cls = _find_class(tree, _NUMPY_CLASS)
+    if py_cls is None or np_cls is None:
+        return [Diagnostic(
+            "L601", "could not locate both %r and %r in scoreboard.py — "
+            "the backend parity extraction no longer matches the source"
+            % (_PYTHON_CLASS, _NUMPY_CLASS), path=_SCOREBOARD_FILE)]
+    diags = []
+
+    py_methods = _methods(py_cls)
+    np_methods = _methods(np_cls)
+    for name in sorted(set(py_methods) - set(np_methods)):
+        diags.append(Diagnostic(
+            "L601", "%s defines %s() but %s does not — a backend switch "
+            "breaks every caller of it"
+            % (_PYTHON_CLASS, name, _NUMPY_CLASS),
+            path=_SCOREBOARD_FILE, line=py_cls.lineno))
+    for name in sorted(set(np_methods) - set(py_methods)):
+        diags.append(Diagnostic(
+            "L601", "%s defines %s() but %s does not — a backend switch "
+            "breaks every caller of it"
+            % (_NUMPY_CLASS, name, _PYTHON_CLASS),
+            path=_SCOREBOARD_FILE, line=np_cls.lineno))
+    for name in sorted(set(py_methods) & set(np_methods)):
+        if py_methods[name] != np_methods[name]:
+            diags.append(Diagnostic(
+                "L601", "%s() signatures differ between backends: "
+                "%s vs %s" % (name, py_methods[name], np_methods[name]),
+                path=_SCOREBOARD_FILE, line=np_cls.lineno))
+
+    py_slots = _class_slots(py_cls)
+    np_slots = _class_slots(np_cls)
+    if py_slots is None or np_slots is None:
+        missing = _PYTHON_CLASS if py_slots is None else _NUMPY_CLASS
+        diags.append(Diagnostic(
+            "L602", "%s declares no literal __slots__ — backend state "
+            "parity cannot be proven" % missing,
+            path=_SCOREBOARD_FILE,
+            line=(py_cls if py_slots is None else np_cls).lineno))
+        return diags
+    for name in sorted(py_slots ^ np_slots):
+        owner = _PYTHON_CLASS if name in py_slots else _NUMPY_CLASS
+        other = _NUMPY_CLASS if name in py_slots else _PYTHON_CLASS
+        diags.append(Diagnostic(
+            "L602", "slot %r is declared by %s but not by %s — the "
+            "backends no longer advertise the same per-instance state"
+            % (name, owner, other),
+            path=_SCOREBOARD_FILE, line=np_cls.lineno))
+    return diags
+
+
+__all__ = ["check_backend_parity"]

@@ -41,7 +41,8 @@ class MultiprocessorSimulator:
     DEFAULT_MAX_CYCLES = 50_000_000
 
     def __init__(self, app_instance, scheme="interleaved", n_contexts=1,
-                 params=None, pipeline=None, seed=None, engine="events"):
+                 params=None, pipeline=None, seed=None, engine="events",
+                 backend=None):
         if engine not in ("events", "naive", "burst"):
             raise ValueError(
                 "engine must be 'events', 'naive' or 'burst', not %r"
@@ -78,7 +79,7 @@ class MultiprocessorSimulator:
             proc = Processor(scheme, n_contexts, self.pipeline,
                              self.machine.nodes[node_id],
                              self.machine.memory, sync=self.sync,
-                             proc_id=node_id)
+                             proc_id=node_id, backend=backend)
             if engine == "burst":
                 proc.burst_enabled = True
                 # Another node's lock release or barrier arrival can
@@ -91,6 +92,8 @@ class MultiprocessorSimulator:
             process = Process("%s.t%d" % (app_instance.name, t), program)
             self.processes.append(process)
             self.processors[node_id].load_process(slot, process)
+        # Resolved scoreboard backend, identical across nodes.
+        self.backend = self.processors[0].backend
         self.now = 0
         # Completion tracking for the event engine: counting HALTs as
         # they retire beats scanning every context every cycle.

@@ -70,6 +70,11 @@ class JobSpec:
     warmup: int = UNIPROC_WARMUP
     measure: int = UNIPROC_MEASURE
     engine: str = "events"
+    #: Scoreboard backend for the workers ("python" | "numpy" | "auto" |
+    #: None).  Bit-identical by contract, so — like ``engine`` — it does
+    #: not enter cache keys, and a server that predates the knob can
+    #: ignore it without changing any result.
+    backend: str = None
     timeout: float = None
     max_retries: int = 2
 
@@ -80,6 +85,9 @@ class JobSpec:
         if self.engine not in ("events", "naive", "burst"):
             raise ValueError("engine must be 'events', 'naive' or "
                              "'burst', not %r" % (self.engine,))
+        if self.backend not in (None, "auto", "python", "numpy"):
+            raise ValueError("backend must be 'python', 'numpy', 'auto' "
+                             "or None, not %r" % (self.backend,))
 
     @classmethod
     def sweep(cls, workloads=None, apps=None, **kwargs):
@@ -130,6 +138,7 @@ class JobSpec:
             "warmup": self.warmup,
             "measure": self.measure,
             "engine": self.engine,
+            "backend": self.backend,
             "timeout": self.timeout,
             "max_retries": self.max_retries,
             "points": [[p.kind, p.name, p.scheme, p.n_contexts]
@@ -159,6 +168,7 @@ class JobSpec:
             warmup=int(payload.get("warmup", UNIPROC_WARMUP)),
             measure=int(payload.get("measure", UNIPROC_MEASURE)),
             engine=payload.get("engine", "events"),
+            backend=payload.get("backend"),
             timeout=payload.get("timeout"),
             max_retries=int(payload.get("max_retries", 2)),
         )

@@ -1,0 +1,145 @@
+"""Scoreboard backend-parity rules (L601/L602).
+
+The passing case runs against the real tree — the standing proof that
+the python and numpy scoreboard backends expose the same surface — and
+the triggering cases point the rule at doctored miniature trees with
+exactly one kind of drift each.
+"""
+
+import textwrap
+
+from repro.analysis.rules.backend_parity import check_backend_parity
+
+_SCOREBOARD_OK = """
+class Scoreboard:
+    __slots__ = ("n_contexts", "reg_ready", "reg_mem", "fu_busy")
+
+    backend = "python"
+
+    def __init__(self, n_contexts):
+        pass
+
+    def issue(self, ctx_id, inst, now):
+        pass
+
+    def clear_context(self, ctx_id):
+        pass
+
+    def set_ready(self, ctx_id, reg, cycle, memory=False):
+        pass
+
+
+class NumpyScoreboard:
+    __slots__ = ("n_contexts", "reg_ready", "reg_mem", "fu_busy")
+
+    backend = "numpy"
+
+    def __init__(self, n_contexts):
+        pass
+
+    def issue(self, ctx_id, inst, now):
+        pass
+
+    def clear_context(self, ctx_id):
+        pass
+
+    def set_ready(self, ctx_id, reg, cycle, memory=False):
+        pass
+"""
+
+
+def _tree(tmp_path, scoreboard=_SCOREBOARD_OK):
+    (tmp_path / "pipeline").mkdir()
+    (tmp_path / "pipeline" / "scoreboard.py").write_text(
+        textwrap.dedent(scoreboard))
+    return tmp_path
+
+
+def _codes(diags):
+    return {d.code for d in diags}
+
+
+# -- passing ---------------------------------------------------------------
+
+def test_real_tree_backends_in_parity():
+    assert check_backend_parity() == []
+
+
+def test_doctored_tree_in_parity_passes(tmp_path):
+    assert check_backend_parity(_tree(tmp_path)) == []
+
+
+# -- L601: method drift ----------------------------------------------------
+
+def test_l601_method_missing_from_numpy_backend(tmp_path):
+    broken = _SCOREBOARD_OK.replace(
+        """    def set_ready(self, ctx_id, reg, cycle, memory=False):
+        pass
+
+
+class NumpyScoreboard:""",
+        "\n\nclass NumpyScoreboard:")
+    diags = check_backend_parity(_tree(tmp_path, broken))
+    assert _codes(diags) == {"L601"}
+    assert any("set_ready" in d.message for d in diags)
+
+
+def test_l601_method_only_on_numpy_backend(tmp_path):
+    broken = _SCOREBOARD_OK + (
+        "\n    def scatter(self, ctx_id):\n        pass\n")
+    diags = check_backend_parity(_tree(tmp_path, broken))
+    assert _codes(diags) == {"L601"}
+    assert any("scatter" in d.message for d in diags)
+
+
+def test_l601_signature_drift(tmp_path):
+    broken = _SCOREBOARD_OK.replace(
+        "def issue(self, ctx_id, inst, now):\n        pass\n\n"
+        "    def clear_context(self, ctx_id):\n        pass\n\n"
+        "    def set_ready(self, ctx_id, reg, cycle, memory=False):\n"
+        "        pass\n",
+        "def issue(self, ctx_id, inst, now, extra):\n        pass\n\n"
+        "    def clear_context(self, ctx_id):\n        pass\n\n"
+        "    def set_ready(self, ctx_id, reg, cycle, memory=False):\n"
+        "        pass\n", 1)
+    diags = check_backend_parity(_tree(tmp_path, broken))
+    assert _codes(diags) == {"L601"}
+    assert any("issue" in d.message for d in diags)
+
+
+# -- L602: state drift -----------------------------------------------------
+
+def test_l602_slot_drift(tmp_path):
+    broken = _SCOREBOARD_OK.replace(
+        '__slots__ = ("n_contexts", "reg_ready", "reg_mem", "fu_busy")',
+        '__slots__ = ("n_contexts", "reg_ready", "reg_mem")', 1)
+    diags = check_backend_parity(_tree(tmp_path, broken))
+    assert _codes(diags) == {"L602"}
+    assert any("fu_busy" in d.message for d in diags)
+
+
+def test_l602_missing_slots_declaration(tmp_path):
+    broken = _SCOREBOARD_OK.replace(
+        'class NumpyScoreboard:\n'
+        '    __slots__ = ("n_contexts", "reg_ready", "reg_mem", '
+        '"fu_busy")\n',
+        'class NumpyScoreboard:\n', 1)
+    diags = check_backend_parity(_tree(tmp_path, broken))
+    assert _codes(diags) == {"L602"}
+    assert any("NumpyScoreboard" in d.message for d in diags)
+
+
+# -- loud failure when extraction breaks -----------------------------------
+
+def test_missing_file_is_loud(tmp_path):
+    diags = check_backend_parity(tmp_path)
+    assert _codes(diags) == {"L601"}
+    assert any("nothing to check" in d.message for d in diags)
+
+
+def test_renamed_class_is_loud(tmp_path):
+    broken = _SCOREBOARD_OK.replace("class NumpyScoreboard:",
+                                    "class VectorScoreboard:")
+    diags = check_backend_parity(_tree(tmp_path, broken))
+    assert _codes(diags) == {"L601"}
+    assert any("no longer matches" in d.message for d in diags)

@@ -99,21 +99,27 @@ def assert_identical(results, context="", listing=None):
 # -- run helpers ---------------------------------------------------------------
 
 def run_workstation(workload, scheme, n_contexts, engine, width=1,
-                    warmup=1_000, measure=5_000, seed=1994):
-    """One workstation window for an (engine, width) matrix point."""
+                    warmup=1_000, measure=5_000, seed=1994,
+                    backend=None):
+    """One workstation window for an (engine, width) matrix point.
+
+    ``backend`` extends the matrix with the scoreboard-backend axis
+    (python/numpy), which must be just as bit-identical as the engines.
+    """
     config = SystemConfig.fast().with_pipeline(issue_width=width)
     sim = Simulation.from_config(config, scheme=scheme,
                                  n_contexts=n_contexts, seed=seed,
-                                 engine=engine).load(workload)
+                                 engine=engine,
+                                 backend=backend).load(workload)
     return sim.run(warmup=warmup, measure=measure)
 
 
 def run_mp(app, scheme, n_contexts, engine, width=1,
-           params=SMALL_MP_PARAMS, scale=0.25, seed=7):
+           params=SMALL_MP_PARAMS, scale=0.25, seed=7, backend=None):
     """One multiprocessor completion run for an (engine, width) point."""
     sim = Simulation.from_config(
         params, scheme=scheme, n_contexts=n_contexts, seed=seed,
-        engine=engine,
+        engine=engine, backend=backend,
         pipeline=PipelineParams(issue_width=width)).load(app, scale=scale)
     return sim.run()
 

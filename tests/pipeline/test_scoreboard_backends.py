@@ -1,0 +1,267 @@
+"""Backend equivalence: the numpy scoreboard is the python one, in bits.
+
+Three layers of proof:
+
+* deterministic unit tests for the backend-selection knob
+  (:func:`resolve_backend` / :func:`make_scoreboard`, the
+  ``REPRO_BACKEND`` environment default, the loud no-numpy error);
+* deterministic unit tests for the numpy backend's bulk operations
+  (fancy-indexed ``apply_burst_compiled``, the single-compare guard,
+  the batched :meth:`can_dispatch_bursts` probe) against hand-computed
+  python-backend results — including the no-leak guarantee that scalar
+  queries return python ints, not ``np.int64`` (simulator cycle state
+  must stay JSON-serialisable);
+* a hypothesis property test driving *random operation sequences*
+  (issue / apply_burst / apply_burst_compiled / set_ready /
+  clear_context / hazard_until / guard probes) through both backends in
+  lockstep, asserting identical ``reg_ready``/``reg_mem``/``fu_busy``
+  state and identical return values after every step.
+
+Everything numpy-specific skips cleanly when the ``repro[fast]`` extra
+is absent; the selection-knob tests still run there.
+"""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.isa.opcodes import Op
+from repro.isa.instruction import Instruction
+from repro.isa.segments import schedule_burst
+from repro.pipeline.scoreboard import (
+    BACKEND_ENV, HAVE_NUMPY, NumpyScoreboard, Scoreboard,
+    make_scoreboard, resolve_backend)
+
+needs_numpy = pytest.mark.skipif(not HAVE_NUMPY,
+                                 reason="numpy not installed "
+                                        "(repro[fast] extra)")
+
+
+def I(op, **kw):
+    return Instruction(op, **kw)
+
+
+def assert_same_state(py_sb, np_sb):
+    """Both backends advertise identical register and unit state."""
+    ready = np_sb.reg_ready
+    mem = np_sb.reg_mem
+    if HAVE_NUMPY and isinstance(np_sb, NumpyScoreboard):
+        ready = ready.tolist()
+        mem = bytes(mem.tolist())
+    assert list(py_sb.reg_ready) == list(ready)
+    assert bytes(py_sb.reg_mem) == bytes(mem)
+    assert list(py_sb.fu_busy) == list(np_sb.fu_busy)
+
+
+# -- backend selection -----------------------------------------------------
+
+class TestBackendSelection:
+    def test_default_is_python(self, monkeypatch):
+        monkeypatch.delenv(BACKEND_ENV, raising=False)
+        assert resolve_backend(None) == "python"
+        assert isinstance(make_scoreboard(2), Scoreboard)
+
+    def test_explicit_python(self):
+        assert resolve_backend("python") == "python"
+
+    def test_env_variable_is_the_default(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "python")
+        assert resolve_backend(None) == "python"
+        if HAVE_NUMPY:
+            monkeypatch.setenv(BACKEND_ENV, "numpy")
+            assert resolve_backend(None) == "numpy"
+
+    def test_explicit_argument_beats_env(self, monkeypatch):
+        monkeypatch.setenv(BACKEND_ENV, "numpy")
+        assert resolve_backend("python") == "python"
+
+    def test_auto_resolves_by_availability(self):
+        expected = "numpy" if HAVE_NUMPY else "python"
+        assert resolve_backend("auto") == expected
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError, match="backend"):
+            resolve_backend("cuda")
+
+    @needs_numpy
+    def test_numpy_factory_builds_numpy_backend(self):
+        sb = make_scoreboard(3, "numpy")
+        assert isinstance(sb, NumpyScoreboard)
+        assert sb.backend == "numpy"
+        assert sb.n_contexts == 3
+
+    def test_backend_names_advertised(self):
+        assert Scoreboard.backend == "python"
+        assert NumpyScoreboard.backend == "numpy"
+
+
+@pytest.mark.skipif(HAVE_NUMPY, reason="exercises the no-numpy fallback")
+class TestWithoutNumpy:
+    def test_explicit_numpy_is_loud(self):
+        with pytest.raises(RuntimeError, match="repro\\[fast\\]"):
+            resolve_backend("numpy")
+
+    def test_auto_falls_back_to_python(self):
+        assert isinstance(make_scoreboard(2, "auto"), Scoreboard)
+
+
+# -- numpy backend bulk ops ------------------------------------------------
+
+@needs_numpy
+class TestNumpyBulkOps:
+    def test_scalar_queries_return_python_ints(self):
+        # np.int64 escaping hazard_until would poison cycle counters all
+        # the way into json.dumps; the boundary must cast.
+        sb = NumpyScoreboard(1)
+        sb.issue(0, I(Op.LW, rd=8, rs1=9), 0)
+        until, kind = sb.hazard_until(0, I(Op.ADD, rd=11, rs1=8,
+                                           rs2=9), 1)
+        assert type(until) is int and until == 3 and kind == "data"
+        assert type(sb.hazard_until(0, I(Op.ADD, rd=12, rs1=13,
+                                         rs2=14), 1)[0]) is int
+
+    def test_guard_is_a_python_bool(self):
+        insts = [I(Op.ADD, rd=8, rs1=9, rs2=10),
+                 I(Op.ADD, rd=11, rs1=8, rs2=9)]
+        burst = schedule_burst(insts, 0, 4)
+        sb = NumpyScoreboard(1)
+        for reg, slack in burst.guard:
+            sb.set_ready(0, reg, 200 + slack)
+        assert sb.can_dispatch_burst(0, burst, 200) is True
+        assert sb.can_dispatch_burst(0, burst, 199) is False
+
+    def test_apply_burst_compiled_matches_pairs(self):
+        insts = [I(Op.ADD, rd=8, rs1=9, rs2=10),
+                 I(Op.FADD, rd=33, rs1=34, rs2=35),
+                 I(Op.SLL, rd=9, rs1=8)]
+        burst = schedule_burst(insts, 0, 4)
+        py_sb = Scoreboard(2)
+        np_sb = NumpyScoreboard(2)
+        np_sb.reg_mem[(1 << 6) + 8] = 1   # stale miss flag must clear
+        py_sb.reg_mem[(1 << 6) + 8] = 1
+        py_sb.apply_burst_compiled(1, 100, burst)
+        np_sb.apply_burst_compiled(1, 100, burst)
+        assert_same_state(py_sb, np_sb)
+
+    def test_batched_probe_matches_singles(self):
+        a = schedule_burst([I(Op.ADD, rd=8, rs1=9, rs2=10),
+                            I(Op.ADD, rd=11, rs1=8, rs2=9)], 0, 4)
+        b = schedule_burst([I(Op.FADD, rd=33, rs1=34, rs2=35),
+                            I(Op.FMUL, rd=36, rs1=33, rs2=35)], 0, 4)
+        for cls in (Scoreboard, NumpyScoreboard):
+            sb = cls(3)
+            sb.set_ready(1, 34, 500)      # stalls burst b on ctx 1 only
+            verdicts = sb.can_dispatch_bursts([0, 1, 2], [a, b, a], 10)
+            singles = [sb.can_dispatch_burst(0, a, 10),
+                       sb.can_dispatch_burst(1, b, 10),
+                       sb.can_dispatch_burst(2, a, 10)]
+            assert verdicts == singles == [True, False, True]
+            assert all(type(v) is bool for v in verdicts)
+
+    def test_batched_probe_empty_and_guardless(self):
+        for cls in (Scoreboard, NumpyScoreboard):
+            sb = cls(1)
+            assert sb.can_dispatch_bursts([], [], 0) == []
+
+    def test_clear_context_is_isolated(self):
+        sb = NumpyScoreboard(2)
+        sb.issue(0, I(Op.FDIV, rd=33, rs1=34, rs2=35), 0)
+        sb.issue(1, I(Op.FDIV, rd=36, rs1=37, rs2=38), 70)
+        sb.set_ready(0, 8, 40, memory=True)
+        sb.clear_context(0)
+        assert int(sb.reg_ready[33]) == 0 and int(sb.reg_mem[8]) == 0
+        assert int(sb.reg_ready[(1 << 6) + 36]) == 70 + 61
+
+
+# -- property test: random op sequences through both backends --------------
+
+_OPS = (Op.ADD, Op.SLL, Op.LW, Op.FADD, Op.FMUL, Op.FDIV, Op.MUL)
+
+_regs = st.integers(min_value=0, max_value=63)
+_ctxs = st.integers(min_value=0, max_value=3)
+_cycles = st.integers(min_value=0, max_value=500)
+
+
+@st.composite
+def _instructions(draw):
+    op = draw(st.sampled_from(_OPS))
+    return I(op, rd=draw(_regs), rs1=draw(_regs), rs2=draw(_regs))
+
+
+@st.composite
+def _burst_specs(draw):
+    """A compiled burst from 2-4 burstable instructions.
+
+    Falls back to the width-1 packing (always schedulable) when the
+    drawn width's cycle-aligned prefix is too short to form a burst.
+    """
+    n = draw(st.integers(min_value=2, max_value=4))
+    insts = [I(draw(st.sampled_from((Op.ADD, Op.SLL, Op.FADD, Op.FMUL))),
+               rd=draw(_regs), rs1=draw(_regs), rs2=draw(_regs))
+             for _ in range(n)]
+    threshold = draw(st.sampled_from((2, 4)))
+    burst = schedule_burst(insts, 0, threshold,
+                           width=draw(st.sampled_from((1, 2))))
+    return (burst if burst is not None
+            else schedule_burst(insts, 0, threshold, width=1))
+
+
+_operations = st.one_of(
+    st.tuples(st.just("issue"), _ctxs, _instructions(), _cycles),
+    st.tuples(st.just("hazard"), _ctxs, _instructions(), _cycles),
+    st.tuples(st.just("set_ready"), _ctxs, _regs, _cycles, st.booleans()),
+    st.tuples(st.just("clear"), _ctxs),
+    st.tuples(st.just("apply"), _ctxs, _burst_specs(), _cycles),
+    st.tuples(st.just("apply_compiled"), _ctxs, _burst_specs(), _cycles),
+    st.tuples(st.just("guard"), _ctxs, _burst_specs(), _cycles),
+    st.tuples(st.just("guard_batch"), st.lists(_ctxs, min_size=1,
+                                               max_size=4),
+              st.lists(_burst_specs(), min_size=4, max_size=4), _cycles),
+)
+
+
+@needs_numpy
+@settings(max_examples=60, deadline=None)
+@given(ops=st.lists(_operations, min_size=1, max_size=40))
+def test_random_sequences_keep_backends_identical(ops):
+    py_sb = Scoreboard(4)
+    np_sb = NumpyScoreboard(4)
+    for op in ops:
+        name = op[0]
+        if name == "issue":
+            _, ctx, inst, now = op
+            py_sb.issue(ctx, inst, now)
+            np_sb.issue(ctx, inst, now)
+        elif name == "hazard":
+            _, ctx, inst, now = op
+            py_out = py_sb.hazard_until(ctx, inst, now)
+            np_out = np_sb.hazard_until(ctx, inst, now)
+            assert py_out == np_out
+            assert type(np_out[0]) is int
+        elif name == "set_ready":
+            _, ctx, reg, cycle, memory = op
+            py_sb.set_ready(ctx, reg, cycle, memory=memory)
+            np_sb.set_ready(ctx, reg, cycle, memory=memory)
+        elif name == "clear":
+            _, ctx = op
+            py_sb.clear_context(ctx)
+            np_sb.clear_context(ctx)
+        elif name == "apply":
+            _, ctx, burst, now = op
+            py_sb.apply_burst(ctx, now, burst.writes_out)
+            np_sb.apply_burst(ctx, now, burst.writes_out)
+        elif name == "apply_compiled":
+            _, ctx, burst, now = op
+            py_sb.apply_burst_compiled(ctx, now, burst)
+            np_sb.apply_burst_compiled(ctx, now, burst)
+        elif name == "guard":
+            _, ctx, burst, now = op
+            assert (py_sb.can_dispatch_burst(ctx, burst, now)
+                    == np_sb.can_dispatch_burst(ctx, burst, now))
+        elif name == "guard_batch":
+            _, ctxs, bursts, now = op
+            bursts = bursts[:len(ctxs)]
+            ctxs = ctxs[:len(bursts)]
+            py_out = py_sb.can_dispatch_bursts(ctxs, bursts, now)
+            np_out = np_sb.can_dispatch_bursts(ctxs, bursts, now)
+            assert py_out == np_out
+        assert_same_state(py_sb, np_sb)

@@ -6,7 +6,9 @@ suite can give (the timing simulator is separately proven equivalent to
 the functional interpreter in test_scheme_equivalence).
 """
 
-import numpy as np
+import pytest
+
+np = pytest.importorskip("numpy", exc_type=ImportError)
 
 from repro.isa.executor import run_functional
 from repro.workloads.kernels.linalg import (
