@@ -11,7 +11,7 @@ cannot) and confirm the mechanisms behind the paper's results:
 
 from repro.config import SystemConfig
 from repro.core.simulator import WorkstationSimulator
-from repro.workloads.synthetic import StreamSpec, build_stream_process
+from repro.workloads.generator import GenSpec, generate_process
 from repro.experiments.report import render_table
 
 from conftest import run_once
@@ -21,7 +21,8 @@ _WARMUP = 8_000
 
 
 def _throughput(spec, scheme, n_contexts):
-    procs = [build_stream_process(spec, index=i, iterations=None)
+    procs = [generate_process(spec, index=i, iterations=None,
+                              verify=False)
              for i in range(max(1, n_contexts))]
     sim = WorkstationSimulator(procs, scheme=scheme,
                                n_contexts=n_contexts,
@@ -35,10 +36,10 @@ def test_calibration_dependency_distance(benchmark, save_result):
     def sweep():
         out = {}
         for distance in (1, 2, 4, 8):
-            spec = StreamSpec(name="dep%d" % distance,
-                              dependency_distance=distance,
-                              load_fraction=0.05, store_fraction=0.02,
-                              fp_fraction=0.25, seed=17)
+            spec = GenSpec(name="dep%d" % distance,
+                           dependency_distance=distance,
+                           load_fraction=0.05, store_fraction=0.02,
+                           fp_fraction=0.25, seed=17)
             single = _throughput(spec, "single", 1)
             inter = _throughput(spec, "interleaved", 4)
             blocked = _throughput(spec, "blocked", 4)
@@ -74,10 +75,10 @@ def test_calibration_cache_interference(benchmark, save_result):
     def sweep():
         out = {}
         for footprint in (256, 2048, 6144):
-            spec = StreamSpec(name="fp%d" % footprint,
-                              load_fraction=0.25, store_fraction=0.08,
-                              footprint_words=footprint,
-                              access_stride=5, seed=23)
+            spec = GenSpec(name="fp%d" % footprint,
+                           load_fraction=0.25, store_fraction=0.08,
+                           footprint_words=footprint,
+                           access_stride=5, seed=23)
             single = _throughput(spec, "single", 1)
             inter = _throughput(spec, "interleaved", 4)
             out[footprint] = (single, inter / single)

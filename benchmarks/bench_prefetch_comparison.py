@@ -9,7 +9,7 @@ synthetic streaming workload where prefetching is at its best
 
 from repro.config import SystemConfig
 from repro.core.simulator import WorkstationSimulator
-from repro.workloads.synthetic import StreamSpec, build_stream_process
+from repro.workloads.generator import GenSpec, generate_process
 from repro.experiments.report import render_table
 
 from conftest import run_once
@@ -19,11 +19,11 @@ _WARMUP = 8_000
 
 
 def _ipc(prefetch_distance, scheme, n_contexts):
-    spec = StreamSpec(name="pfd%d" % prefetch_distance,
-                      load_fraction=0.25, store_fraction=0.05,
-                      footprint_words=6144, access_stride=8,
-                      prefetch_distance=prefetch_distance, seed=31)
-    procs = [build_stream_process(spec, index=i)
+    spec = GenSpec(name="pfd%d" % prefetch_distance,
+                   load_fraction=0.25, store_fraction=0.05,
+                   footprint_words=6144, access_stride=8,
+                   prefetch_distance=prefetch_distance, seed=31)
+    procs = [generate_process(spec, index=i, verify=False)
              for i in range(max(1, n_contexts))]
     sim = WorkstationSimulator(procs, scheme=scheme,
                                n_contexts=n_contexts,

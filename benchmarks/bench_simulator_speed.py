@@ -21,7 +21,7 @@ from repro.config import SystemConfig, MultiprocessorParams
 from repro.core.simulator import WorkstationSimulator
 from repro.core.mpsimulator import MultiprocessorSimulator
 from repro.workloads import build_workload, build_app
-from repro.workloads.synthetic import StreamSpec, build_stream_process
+from repro.workloads.generator import GenSpec, generate_process
 
 #: Memory-latency-bound machine: DASH-like topology with ~4x the
 #: default latencies (a larger/slower interconnect), where single-issue
@@ -131,15 +131,15 @@ def test_event_engine_speedup_memory_bound(benchmark, save_result):
 #: dense FP mix with short dependency distances.  Exactly the regime
 #: the burst engine targets — long straight-line runs whose schedules
 #: (including their hazard stalls) precompile completely.
-COMPUTE_SPEC = StreamSpec(name="compute", load_fraction=0.0,
-                          store_fraction=0.0, fp_fraction=0.35,
-                          branch_fraction=0.0, dependency_distance=3,
-                          seed=11)
+COMPUTE_SPEC = GenSpec(name="compute", load_fraction=0.0,
+                       store_fraction=0.0, fp_fraction=0.35,
+                       branch_fraction=0.0, dependency_distance=3,
+                       seed=11)
 
 
 def _run_stream(engine, until=330_000):
     """One compute-stream run on the single-context workstation."""
-    procs = [build_stream_process(COMPUTE_SPEC, index=0)]
+    procs = [generate_process(COMPUTE_SPEC, index=0, verify=False)]
     sim = WorkstationSimulator(procs, scheme="single", n_contexts=1,
                                config=SystemConfig.fast(), engine=engine)
     t0 = time.perf_counter()

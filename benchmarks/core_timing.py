@@ -93,10 +93,10 @@ def _run_case(spec, engine):
             raise RuntimeError("%s did not complete" % spec["workload"])
     elif spec["kind"] == "stream":
         from repro.core.simulator import WorkstationSimulator
-        from repro.workloads.synthetic import (
-            StreamSpec, build_stream_process)
-        procs = [build_stream_process(StreamSpec(**_COMPUTE_SPEC),
-                                      index=0)]
+        from repro.workloads.generator import (
+            GenSpec, generate_process)
+        procs = [generate_process(GenSpec(**_COMPUTE_SPEC), index=0,
+                                  verify=False)]
         config = SystemConfig.fast().with_pipeline(
             issue_width=spec.get("width", 1))
         sim = WorkstationSimulator(
@@ -127,9 +127,9 @@ BACKEND_CASE = dict(n_contexts=32, rounds=6_000, threshold=4)
 def _compute_bursts(threshold):
     """The compute stream's precompiled bursts (guard/write arrays)."""
     from repro.isa.segments import build_burst_table
-    from repro.workloads.synthetic import StreamSpec, build_stream_process
-    program = build_stream_process(StreamSpec(**_COMPUTE_SPEC),
-                                   index=0).program
+    from repro.workloads.generator import GenSpec, generate_process
+    program = generate_process(GenSpec(**_COMPUTE_SPEC),
+                               index=0).program
     return [b for b in build_burst_table(program, threshold)
             if b is not None]
 

@@ -220,6 +220,19 @@ class Simulation:
         from repro.workloads.uniprocessor import WORKLOADS
         if scale is None:
             scale = self.config.workload_scale
+        if workload.startswith("gen:"):
+            # A generated family: "gen:<GenSpec text>" (the canonical
+            # k=v;k=v form or "" for the default spec), one process per
+            # context.  The family head is verified at birth.
+            from repro.workloads.generator import (GenSpec,
+                                                   generate_processes)
+            spec = GenSpec.from_text(workload[len("gen:"):])
+            self.simulator = WorkstationSimulator(
+                generate_processes(spec, max(1, self.n_contexts)),
+                scheme=self.scheme, n_contexts=self.n_contexts,
+                config=self.config, seed=self.seed,
+                engine=self.engine, backend=self.backend)
+            return
         if workload in WORKLOADS:
             processes, instances, barriers = build_workload(
                 workload, scale=scale)

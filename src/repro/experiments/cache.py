@@ -183,6 +183,11 @@ def mp_from_state(state):
 SERIALIZERS = {
     "uniproc": (uniproc_to_state, uniproc_from_state),
     "dedicated": (uniproc_to_state, uniproc_from_state),
+    # Generated families run on the workstation simulator, so their
+    # results serialise exactly like uniprocessor points; the cache key
+    # carries the spec's canonical text, making generated points as
+    # cacheable as committed ones.
+    "gen": (uniproc_to_state, uniproc_from_state),
     "mp": (mp_to_state, mp_from_state),
 }
 

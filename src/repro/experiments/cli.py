@@ -210,17 +210,27 @@ def _service_spec(args):
         for text in args.points.split(","):
             parts = text.split(":")
             if len(parts) != 4 or parts[0] not in ("uniproc", "dedicated",
-                                                   "mp"):
+                                                   "mp", "gen"):
                 sys.exit("error: --points entries are "
                          "kind:name:scheme:n_contexts with kind one of "
-                         "uniproc/dedicated/mp, not %r" % (text,))
+                         "uniproc/dedicated/mp/gen, not %r" % (text,))
             try:
                 points.append((parts[0], parts[1], parts[2],
                                int(parts[3])))
             except ValueError:
                 sys.exit("error: bad context count in %r" % (text,))
-        _validate_subsets([p[1] for p in points if p[0] != "mp"],
-                          [p[1] for p in points if p[0] == "mp"])
+        # gen points carry a GenSpec text instead of a workload name;
+        # validate it parses (the colon-free k=v;k=v form) up front.
+        from repro.workloads.generator import GenSpec
+        for p in points:
+            if p[0] == "gen":
+                try:
+                    GenSpec.from_text(p[1])
+                except ValueError as exc:
+                    sys.exit("error: bad gen spec in %r: %s" % (p, exc))
+        _validate_subsets(
+            [p[1] for p in points if p[0] in ("uniproc", "dedicated")],
+            [p[1] for p in points if p[0] == "mp"])
         return JobSpec(points=tuple(points), **kwargs)
     return JobSpec.sweep(workloads=workloads, apps=apps, **kwargs)
 
@@ -368,6 +378,48 @@ def _jobs(args):
     return 0
 
 
+def _generate(args):
+    """The 'generate' verb: emit a family of generated programs.
+
+    Deterministic: the same ``--spec``/``--seed`` always produces the
+    same programs (same ``program_fingerprint``).  Programs are
+    verified at birth unless ``--no-verify``; ``--emit-asm DIR`` dumps
+    each member's re-assemblable source next to its fingerprint.
+    """
+    import dataclasses
+    from repro.analysis import program_fingerprint
+    from repro.workloads.generator import (GenSpec, GenerationError,
+                                           generate_family)
+    try:
+        spec = GenSpec.from_text(args.spec or "")
+    except (ValueError, TypeError) as exc:
+        sys.exit("error: bad --spec: %s" % (exc,))
+    if "seed=" not in (args.spec or ""):
+        # --seed names the family head unless the spec text pins one.
+        spec = dataclasses.replace(spec, seed=args.seed)
+    verify = not args.no_verify
+    try:
+        family = generate_family(spec, max(1, args.count), verify=verify)
+    except GenerationError as exc:
+        print("error: %s" % (exc,), file=sys.stderr)
+        return 1
+    print("spec            : %s" % (spec.to_text() or "<defaults>"))
+    print("spec fingerprint: %s" % spec.fingerprint())
+    if args.emit_asm:
+        os.makedirs(args.emit_asm, exist_ok=True)
+    for member, program in family:
+        print("%-12s seed=%-6d %5d insts  %s%s"
+              % (member.name, member.seed, len(program),
+                 program_fingerprint(program),
+                 "  verified" if verify else ""))
+        if args.emit_asm:
+            path = os.path.join(args.emit_asm, "%s.s" % member.name)
+            with open(path, "w") as fh:
+                fh.write(program.to_source())
+            print("  wrote %s" % path)
+    return 0
+
+
 def _lint_programs(widths=(1, 2, 4)):
     """Verify every committed example program (workloads + SPLASH)."""
     from repro.analysis import verify_program
@@ -465,6 +517,7 @@ def main(argv=None, _ready=None):
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all", "sweep",
                                                        "cache", "lint",
+                                                       "generate",
                                                        "serve", "submit",
                                                        "jobs"],
                         help="which table/figure to regenerate; 'sweep' "
@@ -472,7 +525,9 @@ def main(argv=None, _ready=None):
                              "the on-disk cache and renders everything; "
                              "'cache' administers the cache; 'lint' runs "
                              "the static-analysis layer (codebase rules "
-                             "and program verification); 'submit' queues "
+                             "and program verification); 'generate' "
+                             "emits a family of generated programs from "
+                             "--spec/--seed; 'submit' queues "
                              "a job in the spool, 'serve' runs queued "
                              "jobs on a worker pool, 'jobs' lists their "
                              "statuses")
@@ -573,6 +628,29 @@ def main(argv=None, _ready=None):
         "--burst-cache-dir", default=None,
         help="'serve': shared compiled-burst-table cache directory "
              "(default $REPRO_BURST_CACHE_DIR or .repro_burst_cache)")
+    gen_group = parser.add_argument_group(
+        "generate", "options for the 'generate' verb")
+    gen_group.add_argument(
+        "--spec", default=None,
+        help="'generate': GenSpec as k=v;k=v (or a JSON object); "
+             "omitted fields take their defaults, e.g. "
+             "\"fp_fraction=0.25;sharing=lock\"")
+    gen_group.add_argument(
+        "--count", type=int, default=1,
+        help="'generate': family size; member i uses seed+i and is "
+             "named <name>-%%04d (default 1)")
+    gen_group.add_argument(
+        "--emit-asm", default=None, metavar="DIR",
+        help="'generate': write each member's re-assemblable source "
+             "to DIR/<name>.s")
+    gen_group.add_argument(
+        "--verify", action="store_true",
+        help="'generate': verify every program at birth (V1xx + B2xx; "
+             "this is the default — the flag exists to state it "
+             "explicitly in CI invocations)")
+    gen_group.add_argument(
+        "--no-verify", action="store_true",
+        help="'generate': skip birth verification (fast bulk emission)")
     lint_group = parser.add_argument_group(
         "lint", "options for the 'lint' verb")
     lint_group.add_argument("--codebase", action="store_true",
@@ -603,6 +681,11 @@ def main(argv=None, _ready=None):
         return _cache_admin(args)
     if args.experiment == "lint":
         return _lint(args)
+    if args.experiment == "generate":
+        if args.verify and args.no_verify:
+            parser.error("--verify and --no-verify are mutually "
+                         "exclusive")
+        return _generate(args)
     if args.experiment == "submit":
         return _submit(args)
     if args.experiment == "serve":

@@ -26,6 +26,24 @@ Comments start with ``#`` or ``;``.  Supported pseudo-instructions:
 ``bgt``/``ble``
     operand-swapped ``blt``/``bge``.
 
+Data-section ergonomics (all round-trip through
+:meth:`~repro.isa.program.Program.to_source`):
+
+``.equ NAME, value``
+    a named constant, usable wherever an integer is expected —
+    immediates, memory-operand offsets, ``li``/``la``, repeat counts.
+``.string "text"`` (alias ``.asciiz``)
+    one character code per word (the memory model is word-granular)
+    plus a NUL terminator; ``\\n \\t \\0 \\\\ \\"`` escapes apply.
+``.word`` values
+    may be plain integers, ``.equ`` constants, the names of previously
+    defined data symbols (named pointer variables — the word holds the
+    symbol's absolute address), or ``value : count`` repeats.
+label-less ``.word``/``.space``/``.string``
+    continuation lines extend the most recently defined symbol, so
+    large initialisers can be written (and are emitted) in readable
+    chunks.
+
 Because programs are position-dependent (see :mod:`repro.isa.program`),
 ``assemble`` takes the code and data base addresses up front and resolves
 ``la`` immediately.
@@ -56,11 +74,58 @@ _LI_MAX = (1 << 28) - 1
 _IMM_MIN, _IMM_MAX = -8192, 8191
 
 
-def _parse_int(token, line_no, line):
+def _parse_int(token, line_no, line, consts=None):
+    if consts and token in consts:
+        return consts[token]
     try:
         return int(token, 0)
     except ValueError:
         raise AssemblerError("bad integer %r" % token, line_no, line)
+
+
+def _strip_comment(raw):
+    """Drop ``#``/``;`` comments, ignoring comment chars inside strings."""
+    in_string = False
+    escaped = False
+    for pos, ch in enumerate(raw):
+        if in_string:
+            if escaped:
+                escaped = False
+            elif ch == "\\":
+                escaped = True
+            elif ch == '"':
+                in_string = False
+        elif ch == '"':
+            in_string = True
+        elif ch in "#;":
+            return raw[:pos]
+    return raw
+
+
+_STRING_ESCAPES = {"n": "\n", "t": "\t", "0": "\0", "\\": "\\", '"': '"'}
+
+
+def _parse_string(rest, line_no, raw):
+    """The word image of a ``.string`` literal: one char per word + NUL."""
+    rest = rest.strip()
+    if len(rest) < 2 or rest[0] != '"' or rest[-1] != '"':
+        raise AssemblerError("bad string literal %r" % rest, line_no, raw)
+    out = []
+    chars = iter(rest[1:-1])
+    for ch in chars:
+        if ch == "\\":
+            try:
+                esc = next(chars)
+            except StopIteration:
+                raise AssemblerError("dangling escape in string",
+                                     line_no, raw)
+            if esc not in _STRING_ESCAPES:
+                raise AssemblerError("unknown escape %r" % ("\\" + esc),
+                                     line_no, raw)
+            ch = _STRING_ESCAPES[esc]
+        out.append(ord(ch))
+    out.append(0)
+    return out
 
 
 def _reg(token, line_no, line):
@@ -105,9 +170,43 @@ def assemble(source, name="program", code_base=0, data_base=0x100000,
     text_records = []   # (label_or_None, mnemonic, operand list, line info)
     section = ".text"
     pending_data_label = None
+    consts = {}         # .equ constants
+    last_data_symbol = None   # continuation target for label-less data
+
+    def data_value(token, line_no, raw):
+        """One ``.word`` entry: int, const, or data-symbol address."""
+        if token in data.symbols:
+            return data.address_of(token)
+        return _parse_int(token, line_no, raw, consts)
+
+    def word_values(rest, line_no, raw):
+        """Parse a ``.word`` operand list, expanding ``v : n`` repeats."""
+        values = []
+        for tok in rest.split(","):
+            tok = tok.strip()
+            if ":" in tok:
+                value, count = (t.strip() for t in tok.split(":", 1))
+                n = _parse_int(count, line_no, raw, consts)
+                if n < 1:
+                    raise AssemblerError("bad repeat count %r" % tok,
+                                         line_no, raw)
+                values.extend([data_value(value, line_no, raw)] * n)
+            else:
+                values.append(data_value(tok, line_no, raw))
+        return values
+
+    def define_or_extend(label, line_no, raw, n_words, init=None,
+                         kind=None):
+        nonlocal last_data_symbol
+        if label is None and last_data_symbol is not None:
+            data.extend(n_words, init=init)    # continuation line
+        else:
+            name = label or "__anon%d" % line_no
+            data.define(name, n_words, init=init, kind=kind)
+            last_data_symbol = name
 
     for line_no, raw in enumerate(source.splitlines(), start=1):
-        line = raw.split("#")[0].split(";")[0].strip()
+        line = _strip_comment(raw).strip()
         if not line:
             continue
         m = _LABEL_RE.match(line)
@@ -123,22 +222,39 @@ def assemble(source, name="program", code_base=0, data_base=0x100000,
                 if label is not None:
                     raise AssemblerError("label on section directive",
                                          line_no, raw)
+            elif directive == ".equ":
+                ops = _split_operands(rest)
+                if len(ops) != 2:
+                    raise AssemblerError(".equ expects NAME, value",
+                                         line_no, raw)
+                if ops[0] in consts:
+                    raise AssemblerError("duplicate constant %r" % ops[0],
+                                         line_no, raw)
+                consts[ops[0]] = _parse_int(ops[1], line_no, raw, consts)
             elif directive == ".space":
                 if section != ".data":
                     raise AssemblerError(".space outside .data", line_no, raw)
                 if label is None and pending_data_label is not None:
                     label, pending_data_label = pending_data_label, None
-                n = _parse_int(rest, line_no, raw)
-                data.define(label or "__anon%d" % line_no, n)
+                n = _parse_int(rest, line_no, raw, consts)
+                define_or_extend(label, line_no, raw, n, kind="space")
             elif directive == ".word":
                 if section != ".data":
                     raise AssemblerError(".word outside .data", line_no, raw)
                 if label is None and pending_data_label is not None:
                     label, pending_data_label = pending_data_label, None
-                values = [_parse_int(v.strip(), line_no, raw)
-                          for v in rest.split(",")]
-                data.define(label or "__anon%d" % line_no,
-                            len(values), init=values)
+                values = word_values(rest, line_no, raw)
+                define_or_extend(label, line_no, raw, len(values),
+                                 init=values, kind="word")
+            elif directive in (".string", ".asciiz"):
+                if section != ".data":
+                    raise AssemblerError("%s outside .data" % directive,
+                                         line_no, raw)
+                if label is None and pending_data_label is not None:
+                    label, pending_data_label = pending_data_label, None
+                values = _parse_string(rest, line_no, raw)
+                define_or_extend(label, line_no, raw, len(values),
+                                 init=values, kind="string")
             else:
                 raise AssemblerError("unknown directive %r" % directive,
                                      line_no, raw)
@@ -181,7 +297,8 @@ def assemble(source, name="program", code_base=0, data_base=0x100000,
         if mnemonic is None:
             continue
         instructions.extend(
-            _expand(mnemonic, operands, symbol_value, line_no, raw))
+            _expand(mnemonic, operands, symbol_value, line_no, raw,
+                    consts=consts))
 
     # Pass 3: resolve branch/jump targets.
     for inst in instructions:
@@ -196,10 +313,10 @@ def assemble(source, name="program", code_base=0, data_base=0x100000,
                    code_base=code_base, strict=strict)
 
 
-def _expand(mnemonic, ops, symbol_value, line_no, raw):
+def _expand(mnemonic, ops, symbol_value, line_no, raw, consts=None):
     """Expand one source mnemonic (real or pseudo) into instructions."""
     r = lambda t: _reg(t, line_no, raw)
-    i = lambda t: _parse_int(t, line_no, raw)
+    i = lambda t: _parse_int(t, line_no, raw, consts)
 
     def target(token):
         """Branch target: a literal index or a label placeholder."""
@@ -213,7 +330,11 @@ def _expand(mnemonic, ops, symbol_value, line_no, raw):
     if mnemonic == "la":
         addr = symbol_value(ops[1], line_no, raw)
         if addr is None:
-            raise AssemblerError("unknown symbol %r" % ops[1], line_no, raw)
+            if consts and ops[1] in consts:
+                addr = consts[ops[1]]
+            else:
+                raise AssemblerError("unknown symbol %r" % ops[1],
+                                     line_no, raw)
         return _expand_li(r(ops[0]), addr, line_no, raw)
     if mnemonic == "move":
         return [Instruction(Op.OR, rd=r(ops[0]), rs1=r(ops[1]), rs2=0)]

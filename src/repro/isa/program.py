@@ -21,17 +21,22 @@ class DataSegment:
         self.base = base
         self.symbols = {}
         self.words = []
+        #: Directive kind each symbol was defined with ("word", "space",
+        #: "string") — presentation metadata only, used by
+        #: :meth:`Program.to_source` to round-trip readable directives.
+        self.kinds = {}
 
     @property
     def size_bytes(self):
         return 4 * len(self.words)
 
-    def define(self, name, n_words, init=None):
+    def define(self, name, n_words, init=None, kind=None):
         """Reserve ``n_words`` words under ``name``; returns the address."""
         if name in self.symbols:
             raise ValueError("duplicate data symbol %r" % (name,))
         offset = 4 * len(self.words)
         self.symbols[name] = offset
+        self.kinds[name] = kind or ("space" if init is None else "word")
         if init is None:
             self.words.extend([0] * n_words)
         else:
@@ -40,6 +45,14 @@ class DataSegment:
                                  % (len(init), n_words, name))
             self.words.extend(init)
         return self.base + offset
+
+    def extend(self, n_words, init=None):
+        """Append words to the segment without defining a new symbol
+        (label-less ``.word``/``.space`` continuation lines)."""
+        if init is None:
+            self.words.extend([0] * n_words)
+        else:
+            self.words.extend(init)
 
     def address_of(self, name):
         """Absolute byte address of a data symbol."""
@@ -65,13 +78,17 @@ class Program:
     burst_provider = None
 
     def __init__(self, name, instructions, labels, data, code_base=0,
-                 entry=0, strict=False):
+                 entry=0, strict=False, annotations=None):
         self.name = name
         self.instructions = instructions
         self.labels = labels
         self.data = data
         self.code_base = code_base
         self.entry = entry
+        #: Optional instruction-index -> comment map (builder ``note=``
+        #: annotations); purely presentational — rendered by
+        #: :meth:`to_source`, never part of the fingerprint.
+        self.annotations = dict(annotations) if annotations else {}
         # Burst tables (repro.isa.segments), memoised per
         # (stall threshold, issue width); built on demand so
         # naive/event-engine runs never pay the segmentation cost.
@@ -140,3 +157,68 @@ class Program:
                 lines.append("%s:" % label)
             lines.append("    %s" % inst.disassemble())
         return "\n".join(lines)
+
+    def to_source(self):
+        """Full re-assemblable source: data directives plus code.
+
+        ``assemble(program.to_source(), code_base=..., data_base=...)``
+        with this program's bases reproduces it bit-identically — same
+        :func:`~repro.analysis.program_fingerprint`, same data image
+        (property- and golden-tested).  Branch targets are emitted as
+        the literal instruction indices the assembler accepts, so the
+        rendered labels are purely for the human reader, as are the
+        header comments and any builder ``note=`` annotations.
+        """
+        lines = ["# program: %s" % self.name,
+                 "# code_base: 0x%X  data_base: 0x%X  entry: %d"
+                 % (self.code_base,
+                    self.data.base if self.data is not None else 0,
+                    self.entry)]
+        if self.data is not None and self.data.words:
+            lines.append("    .data")
+            lines.extend(_render_data(self.data))
+        lines.append("    .text")
+        by_index = {}
+        for label, idx in self.labels.items():
+            by_index.setdefault(idx, []).append(label)
+        for i, inst in enumerate(self.instructions):
+            for label in sorted(by_index.get(i, ())):
+                lines.append("%s:" % label)
+            note = self.annotations.get(i)
+            text = "    %s" % inst.disassemble()
+            lines.append("%s%s" % (text, "    # %s" % note if note
+                                   else ""))
+        return "\n".join(lines) + "\n"
+
+
+def _render_data(data):
+    """Data-segment directives for :meth:`Program.to_source`."""
+    lines = []
+    symbols = sorted(data.symbols.items(), key=lambda kv: kv[1])
+    for n, (name, offset) in enumerate(symbols):
+        start = offset // 4
+        end = (symbols[n + 1][1] // 4 if n + 1 < len(symbols)
+               else len(data.words))
+        words = data.words[start:end]
+        kind = data.kinds.get(name, "word")
+        if kind == "string" and _is_string_image(words):
+            text = "".join(chr(w) for w in words[:-1])
+            lines.append('%s: .string "%s"' % (name, _escape(text)))
+        elif not any(words):
+            lines.append("%s: .space %d" % (name, len(words)))
+        else:
+            lines.append("%s:" % name)
+            for i in range(0, len(words), 8):
+                lines.append("    .word %s" % ", ".join(
+                    str(w) for w in words[i:i + 8]))
+    return lines
+
+
+def _is_string_image(words):
+    return (len(words) >= 1 and words[-1] == 0
+            and all(1 <= w < 127 for w in words[:-1]))
+
+
+def _escape(text):
+    return (text.replace("\\", "\\\\").replace('"', '\\"')
+            .replace("\n", "\\n").replace("\t", "\\t"))

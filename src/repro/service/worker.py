@@ -89,6 +89,18 @@ def compute_point(task):
                 backend=backend).load(task["name"])
             result = simulation.run(warmup=task["warmup"],
                                     measure=task["measure"])
+        elif kind == "gen":
+            # A generated family: the point's name is the GenSpec's
+            # canonical text ("" = default spec); programs are built on
+            # the worker (deterministic from the spec) and verified at
+            # birth, so a bad spec fails the point loudly.
+            simulation = Simulation.from_config(
+                task["config"], scheme=task["scheme"],
+                n_contexts=task["n_contexts"], seed=task["seed"],
+                engine=engine, backend=backend).load(
+                    "gen:" + task["name"])
+            result = simulation.run(warmup=task["warmup"],
+                                    measure=task["measure"])
         elif kind == "mp":
             simulation = Simulation.from_config(
                 task["mp_params"], scheme=task["scheme"],

@@ -16,6 +16,15 @@ from repro.workloads.uniprocessor import (
     kernel_names,
 )
 from repro.workloads.splash import SPLASH_APPS, build_app
+from repro.workloads.generator import (
+    GenSpec,
+    GenerationError,
+    generate_program,
+    generate_process,
+    generate_processes,
+    generate_family,
+    verify_generated,
+)
 from repro.workloads.synthetic import (
     StreamSpec,
     build_stream,
@@ -34,6 +43,13 @@ __all__ = [
     "kernel_names",
     "SPLASH_APPS",
     "build_app",
+    "GenSpec",
+    "GenerationError",
+    "generate_program",
+    "generate_process",
+    "generate_processes",
+    "generate_family",
+    "verify_generated",
     "StreamSpec",
     "build_stream",
     "build_stream_process",

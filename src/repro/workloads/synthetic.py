@@ -1,34 +1,31 @@
-"""Synthetic statistical workloads.
+"""Deprecated synthetic-stream shim.
 
-Generates programs with *controlled* statistical properties — instruction
-mix, dependency distance, memory footprint, branch behaviour — instead of
-the hand-written kernels' natural ones.  Two uses:
+The ad-hoc randomisation that lived here moved to
+:mod:`repro.workloads.generator`, which generalises it (mul/shift
+pressure, multi-block bodies, loop nests, sharing patterns) behind the
+canonical :class:`~repro.workloads.generator.GenSpec`.  This module
+keeps the old API alive for out-of-tree callers:
 
-* **calibration**: sweep one property at a time (e.g. dependency
-  distance) and watch its isolated effect on each multithreading scheme,
-  which the structured kernels cannot do;
-* **property tests**: random-but-valid programs for exercising the
-  pipeline model across a much wider space than the kernel suite.
-
-The generator emits straight-line blocks of the requested mix wrapped in
-a loop, with all randomness drawn from a seeded generator at *build*
-time, so any generated program is deterministic and encodable.
+* :class:`StreamSpec` still constructs and validates silently (it is a
+  plain recipe object);
+* :func:`build_stream` / :func:`build_stream_process` emit a
+  :class:`DeprecationWarning` and delegate to the generator with a
+  compatible spec, producing **bit-identical** programs to the historical
+  implementation (same seed, same draw order — regression-tested in
+  ``tests/workloads/test_synthetic.py``).
 """
 
-import random
+import warnings
 from dataclasses import dataclass
 
-from repro.isa.builder import AsmBuilder
-from repro.workloads.kernels.util import Loop, OuterLoop, ipattern
+from repro.workloads.generator import (GenSpec, generate_process,
+                                       generate_program)
 
 
 @dataclass(frozen=True)
 class StreamSpec:
-    """Statistical recipe for a synthetic instruction stream.
-
-    Fractions are of the generated block body; they need not sum to one
-    — the remainder is filled with integer ALU operations.
-    """
+    """Deprecated recipe; superseded by
+    :class:`repro.workloads.generator.GenSpec` (a strict superset)."""
 
     name: str = "synthetic"
     block_size: int = 64          # instructions per loop body
@@ -50,119 +47,44 @@ class StreamSpec:
     seed: int = 42
 
     def validate(self):
-        total = (self.load_fraction + self.store_fraction +
-                 self.fp_fraction + self.branch_fraction)
-        if total > 0.9:
-            raise ValueError("instruction-mix fractions exceed 90%")
-        if self.block_size < 8:
-            raise ValueError("block_size must be at least 8")
-        if self.footprint_words < 16:
-            raise ValueError("footprint_words must be at least 16")
+        self.to_genspec()
         return self
 
+    def to_genspec(self):
+        """The equivalent :class:`GenSpec` (same program, same seed)."""
+        return GenSpec(
+            name=self.name, seed=self.seed,
+            block_size=self.block_size,
+            loop_iterations=self.loop_iterations,
+            load_fraction=self.load_fraction,
+            store_fraction=self.store_fraction,
+            fp_fraction=self.fp_fraction,
+            branch_fraction=self.branch_fraction,
+            fdiv_per_block=self.fdiv_per_block,
+            dependency_distance=self.dependency_distance,
+            footprint_words=self.footprint_words,
+            access_stride=self.access_stride,
+            prefetch_distance=self.prefetch_distance,
+        ).validate()
 
-# Rotating register pools; the generator picks destinations round-robin
-# and sources from recently written registers to hit the requested
-# dependency distance.
-_INT_POOL = ("t0", "t1", "t2", "t3", "t4", "t5", "t6", "t7")
-_FP_POOL = ("f2", "f3", "f4", "f5", "f6", "f7", "f8")
 
-
-class _Generator:
-    def __init__(self, spec, builder, rng):
-        self.spec = spec
-        self.b = builder
-        self.rng = rng
-        self.int_written = list(_INT_POOL)
-        self.fp_written = list(_FP_POOL)
-        self.counter = 0
-
-    def _dest(self, pool):
-        self.counter += 1
-        return pool[self.counter % len(pool)]
-
-    def _source(self, written):
-        """A recently written register, ~dependency_distance back."""
-        d = max(1, int(self.rng.expovariate(
-            1.0 / self.spec.dependency_distance)))
-        return written[-min(d, len(written))]
-
-    def emit_block(self):
-        spec, b, rng = self.spec, self.b, self.rng
-        for _ in range(spec.block_size):
-            r = rng.random()
-            if r < spec.load_fraction:
-                dest = self._dest(_INT_POOL)
-                if spec.prefetch_distance:
-                    ahead = (4 * spec.access_stride
-                             * spec.prefetch_distance)
-                    b.pref(ahead, "s1")
-                b.lw(dest, 0, "s1")
-                self._advance_pointer()
-                self.int_written.append(dest)
-            elif r < spec.load_fraction + spec.store_fraction:
-                b.sw(self._source(self.int_written), 0, "s1")
-                self._advance_pointer()
-            elif r < (spec.load_fraction + spec.store_fraction
-                      + spec.fp_fraction):
-                dest = self._dest(_FP_POOL)
-                b.fadd(dest, self._source(self.fp_written),
-                       self._source(self.fp_written))
-                self.fp_written.append(dest)
-            elif r < (spec.load_fraction + spec.store_fraction
-                      + spec.fp_fraction + spec.branch_fraction):
-                skip = b.fresh_label("syn")
-                b.andi("t8", self._source(self.int_written), 1)
-                b.beq("t8", "zero", skip)
-                b.addi("t9", "t9", 1)
-                b.label(skip)
-            else:
-                dest = self._dest(_INT_POOL)
-                b.addi(dest, self._source(self.int_written), 1)
-                self.int_written.append(dest)
-        for _ in range(spec.fdiv_per_block):
-            dest = self._dest(_FP_POOL)
-            b.fadd("f1", "f1", "f0")         # keep the divisor nonzero
-            b.fdiv(dest, "f0", "f1")
-            b.backoff(52)
-            self.fp_written.append(dest)
-
-    def _advance_pointer(self):
-        spec, b = self.spec, self.b
-        b.addi("s1", "s1", 4 * spec.access_stride)
-        # wrap within the footprint
-        wrap = b.fresh_label("wrap")
-        b.blt("s1", "s2", wrap)
-        b.move("s1", "s0")
-        b.label(wrap)
+def _deprecated(old, new):
+    warnings.warn(
+        "%s is deprecated; use repro.workloads.generator.%s with a "
+        "GenSpec" % (old, new), DeprecationWarning, stacklevel=3)
 
 
 def build_stream(spec, code_base=0, data_base=0x100000,
                  iterations=None):
-    """Build a synthetic program from a :class:`StreamSpec`."""
-    spec.validate()
-    rng = random.Random(spec.seed)
-    b = AsmBuilder(spec.name, code_base, data_base)
-    data = b.word("data", ipattern(spec.footprint_words, 3, 63))
-    b.li("s0", data)                      # footprint base
-    b.li("s2", data + 4 * spec.footprint_words)   # footprint end
-    b.fcvtif("f0", "zero")
-    b.li("t0", 1)
-    b.fcvtif("f1", "t0")                  # f1 = 1.0 (divisor seed)
-    gen = _Generator(spec, b, rng)
-    with OuterLoop(b, iterations):
-        b.move("s1", "s0")
-        with Loop(b, "s6", spec.loop_iterations):
-            gen.emit_block()
-    return b.build()
+    """Deprecated: delegates to :func:`generator.generate_program`."""
+    _deprecated("build_stream", "generate_program")
+    return generate_program(spec.to_genspec(), code_base=code_base,
+                            data_base=data_base, iterations=iterations,
+                            verify=False)
 
 
 def build_stream_process(spec, index=0, iterations=None):
-    """A ready-to-schedule Process around a synthetic stream."""
-    from repro.core.simulator import Process
-    program = build_stream(
-        spec,
-        code_base=0x600000 + index * (0x40000 + 0x11E0),
-        data_base=0x6000000 + index * (0x200000 + 0x12A0),
-        iterations=iterations)
-    return Process("%s.%d" % (spec.name, index), program)
+    """Deprecated: delegates to :func:`generator.generate_process`."""
+    _deprecated("build_stream_process", "generate_process")
+    return generate_process(spec.to_genspec(), index=index,
+                            iterations=iterations, verify=False)

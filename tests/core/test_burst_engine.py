@@ -25,7 +25,7 @@ from repro.isa.segments import (
     MIN_BURST, build_burst_table, burstable, schedule_burst,
 )
 from repro.pipeline.scoreboard import Scoreboard
-from repro.workloads.synthetic import StreamSpec, build_stream_process
+from repro.workloads.generator import GenSpec, generate_process
 from repro.workloads.uniprocessor import WORKLOAD_ORDER
 
 #: PipelineParams.short_stall_threshold default — the short/long split.
@@ -218,12 +218,12 @@ class TestBurstTable:
     """build_burst_table(): suffix coverage and run maximality."""
 
     def _program(self):
-        from repro.workloads.synthetic import build_stream
-        return build_stream(StreamSpec(load_fraction=0.1,
-                                       fp_fraction=0.3,
-                                       branch_fraction=0.1,
-                                       seed=3), code_base=0x1000,
-                            data_base=0x400000)
+        from repro.workloads.generator import generate_program
+        return generate_program(GenSpec(load_fraction=0.1,
+                                        fp_fraction=0.3,
+                                        branch_fraction=0.1,
+                                        seed=3), code_base=0x1000,
+                                data_base=0x400000, verify=False)
 
     def test_every_entry_is_a_maximal_suffix(self):
         program = self._program()
@@ -280,10 +280,10 @@ class TestRandomStreams:
             n_contexts = 1
         results = {}
         for engine in ("naive", "burst"):
-            spec = StreamSpec(load_fraction=load, fp_fraction=fp,
+            spec = GenSpec(load_fraction=load, fp_fraction=fp,
                               dependency_distance=distance,
                               footprint_words=4096, seed=seed)
-            procs = [build_stream_process(spec, index=i)
+            procs = [generate_process(spec, index=i, verify=False)
                      for i in range(n_contexts)]
             sim = WorkstationSimulator(procs, scheme=scheme,
                                        n_contexts=n_contexts,

@@ -21,7 +21,7 @@ from repro.core.simulator import (
     WorkstationSimulator, Process, SimulationDeadlock,
 )
 from repro.isa import AsmBuilder
-from repro.workloads.synthetic import StreamSpec, build_stream_process
+from repro.workloads.generator import GenSpec, generate_process
 from repro.workloads.uniprocessor import WORKLOAD_ORDER
 
 
@@ -88,10 +88,10 @@ class TestNextEventProtocol:
            distance=st.integers(1, 8))
     def test_never_overshoots(self, seed, scheme, n_contexts, load,
                               fdiv, distance):
-        spec = StreamSpec(load_fraction=load, fdiv_per_block=fdiv,
-                          dependency_distance=distance,
-                          footprint_words=4096, seed=seed)
-        procs = [build_stream_process(spec, index=i)
+        spec = GenSpec(load_fraction=load, fdiv_per_block=fdiv,
+                       dependency_distance=distance,
+                       footprint_words=4096, seed=seed)
+        procs = [generate_process(spec, index=i, verify=False)
                  for i in range(n_contexts)]
         sim = WorkstationSimulator(procs, scheme=scheme,
                                    n_contexts=n_contexts,

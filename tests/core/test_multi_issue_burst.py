@@ -23,7 +23,7 @@ from repro.isa.instruction import Instruction
 from repro.isa.opcodes import Op
 from repro.isa.segments import MIN_BURST, schedule_burst
 from repro.pipeline.scoreboard import Scoreboard
-from repro.workloads.synthetic import StreamSpec, build_stream_process
+from repro.workloads.generator import GenSpec, generate_process
 
 #: PipelineParams.short_stall_threshold default — the short/long split.
 THRESHOLD = 4
@@ -237,16 +237,16 @@ def _spec_with_divides(seed=3):
     """FP-divide-heavy stream: FDIV is non-pipelined (never in a
     burst), so back-to-back divides drive the per-issue path straight
     into ``_skip_stall_window`` whenever the burst engine is on."""
-    return StreamSpec(name="fdiv", block_size=16, loop_iterations=32,
-                      load_fraction=0.0, store_fraction=0.0,
-                      fp_fraction=0.3, branch_fraction=0.0,
-                      fdiv_per_block=3, dependency_distance=1,
-                      footprint_words=64, seed=seed)
+    return GenSpec(name="fdiv", block_size=16, loop_iterations=32,
+                   load_fraction=0.0, store_fraction=0.0,
+                   fp_fraction=0.3, branch_fraction=0.0,
+                   fdiv_per_block=3, dependency_distance=1,
+                   footprint_words=64, seed=seed)
 
 
 def _run_spec(spec, engine, width, scheme="single", n_contexts=1,
               cycles=4_000):
-    processes = [build_stream_process(spec, index=i)
+    processes = [generate_process(spec, index=i, verify=False)
                  for i in range(n_contexts)]
     config = SystemConfig.fast().with_pipeline(issue_width=width)
     sim = WorkstationSimulator(processes, scheme=scheme,
@@ -283,11 +283,11 @@ class TestSkipStallWindowWidthScaling:
     def test_mid_cycle_window_open(self, width):
         """An ALU op sharing the divide's first cycle forces the window
         to open at slot 1+, exercising the ``slots_left`` charge."""
-        spec = StreamSpec(name="mix", block_size=12, loop_iterations=32,
-                          load_fraction=0.0, store_fraction=0.0,
-                          fp_fraction=0.0, branch_fraction=0.0,
-                          fdiv_per_block=2, dependency_distance=2,
-                          footprint_words=64, seed=9)
+        spec = GenSpec(name="mix", block_size=12, loop_iterations=32,
+                       load_fraction=0.0, store_fraction=0.0,
+                       fp_fraction=0.0, branch_fraction=0.0,
+                       fdiv_per_block=2, dependency_distance=2,
+                       footprint_words=64, seed=9)
         burst = _run_spec(spec, "burst", width)
         naive = _run_spec(spec, "naive", width)
         assert _comparable(burst) == _comparable(naive)
@@ -354,8 +354,8 @@ class TestBurstTableMemo:
     def test_memo_keys_on_width(self):
         """One Program, two widths, one process: distinct tables, both
         memoised, with width recorded on every burst."""
-        program = build_stream_process(
-            StreamSpec(name="memo", seed=17), index=0).program
+        program = generate_process(
+            GenSpec(name="memo", seed=17), index=0).program
         t1 = program.bursts_for(THRESHOLD, 1)
         t2 = program.bursts_for(THRESHOLD, 2)
         assert t1 is not t2
@@ -370,8 +370,8 @@ class TestBurstTableMemo:
                    for b1, b2 in zip(t1, t2))
 
     def test_default_width_key_is_one(self):
-        program = build_stream_process(
-            StreamSpec(name="memo2", seed=18), index=0).program
+        program = generate_process(
+            GenSpec(name="memo2", seed=18), index=0).program
         assert program.bursts_for(THRESHOLD) \
             is program.bursts_for(THRESHOLD, 1)
 
@@ -381,8 +381,8 @@ class TestBurstTableMemo:
         the second run must match its own naive reference — a stale
         memo (the pre-fix bug: tables keyed on threshold alone) would
         replay the first width's schedules and diverge."""
-        spec = StreamSpec(name="memo3", seed=21, fp_fraction=0.2,
-                          dependency_distance=2)
+        spec = GenSpec(name="memo3", seed=21, fp_fraction=0.2,
+                       dependency_distance=2)
         for width in (first, second):
             burst = _run_spec(spec, "burst", width, scheme="interleaved",
                               n_contexts=2)

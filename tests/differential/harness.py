@@ -17,10 +17,12 @@ random-program tests a shared vocabulary:
   diverging stat path and (when a program is supplied) the offending
   program listing — so a hypothesis shrink prints the minimal
   counterexample, not a wall of JSON;
-* :func:`stream_specs` is a hypothesis strategy over the synthetic
-  instruction-stream recipe (the same generator behind the Table 5
-  R0/R1 workloads), spanning stall-prone short dependency distances,
-  FP-divide pressure, branches, and memory footprints.
+* :func:`gen_specs` is a hypothesis strategy over the parameterised
+  workload generator's :class:`~repro.workloads.generator.GenSpec`,
+  spanning stall-prone short dependency distances, FP-divide pressure,
+  branches, memory footprints, and — beyond what the deprecated
+  ``StreamSpec`` could express — multiply/shift pressure, multi-block
+  bodies, loop nests, and cross-context sharing patterns.
 """
 
 import json
@@ -29,7 +31,7 @@ from hypothesis import strategies as st
 
 from repro.api import Simulation
 from repro.config import MultiprocessorParams, PipelineParams, SystemConfig
-from repro.workloads.synthetic import StreamSpec, build_stream_process
+from repro.workloads.generator import GenSpec, generate_process
 
 #: Engine whose per-cycle stepping defines the machine.
 REFERENCE_ENGINE = "naive"
@@ -125,24 +127,26 @@ def run_mp(app, scheme, n_contexts, engine, width=1,
 
 
 def run_spec(spec, scheme, n_contexts, engine, width=1,
-             cycles=6_000, seed=11):
-    """Run a random stream spec on the workstation simulator.
+             cycles=6_000, seed=11, backend=None):
+    """Run a generated spec on the workstation simulator.
 
     Processes are (re)built *inside* this helper: ``Process`` carries
     mutable run state (PC, completion counters), so sharing instances
     across engine runs would leak state from one engine into the next.
     ``restart_halted`` stays on (the simulator default) so short random
     streams keep issuing for the whole window instead of idling after
-    their first HALT.
+    their first HALT.  Birth verification is skipped here — the
+    property tests that feed this helper cover verification
+    separately, and hypothesis re-runs the builder hundreds of times.
     """
     from repro.core.simulator import WorkstationSimulator
     from repro.api import workstation_run_result
-    processes = [build_stream_process(spec, index=i)
+    processes = [generate_process(spec, index=i, verify=False)
                  for i in range(n_contexts)]
     config = SystemConfig.fast().with_pipeline(issue_width=width)
     sim = WorkstationSimulator(processes, scheme=scheme,
                                n_contexts=n_contexts, config=config,
-                               seed=seed, engine=engine)
+                               seed=seed, engine=engine, backend=backend)
     window = sim.measure(cycles)
     return workstation_run_result(sim, window, workload="random")
 
@@ -150,36 +154,51 @@ def run_spec(spec, scheme, n_contexts, engine, width=1,
 # -- hypothesis strategies -----------------------------------------------------
 
 @st.composite
-def stream_specs(draw):
-    """A random synthetic-stream recipe (always ``validate``-clean).
+def gen_specs(draw, sharing=("private",)):
+    """A random generator recipe (always ``validate``-clean).
 
     Spans the timing-relevant axes: dependency distance (hazard
     density), FP and FP-divide pressure (long pipelined latencies and
-    non-pipelined units that break bursts), branch density (burst
-    lengths), memory fractions/strides (cache behaviour, burst
-    boundaries), and footprints crossing the fast-profile L1.
+    non-pipelined units that break bursts), branch/multiply/shift
+    density (burst lengths, non-pipelined integer stalls), memory
+    fractions/strides (cache behaviour, burst boundaries), footprints
+    crossing the fast-profile L1, and loop structure (nests,
+    multi-block bodies).  ``sharing`` widens the strategy to
+    cross-context patterns for multi-context matrix points.
     """
     load = draw(st.sampled_from((0.0, 0.05, 0.15, 0.3)))
     store = draw(st.sampled_from((0.0, 0.05, 0.1)))
     fp = draw(st.sampled_from((0.0, 0.1, 0.25)))
     branch = draw(st.sampled_from((0.0, 0.05, 0.1)))
-    return StreamSpec(
+    mul = draw(st.sampled_from((0.0, 0.05)))
+    shift = draw(st.sampled_from((0.0, 0.05)))
+    return GenSpec(
         name="diff",
         block_size=draw(st.sampled_from((8, 16, 48, 64))),
         loop_iterations=16,
+        loop_nest=draw(st.sampled_from((1, 2))),
+        blocks_per_iteration=draw(st.sampled_from((1, 2))),
         load_fraction=load,
         store_fraction=store,
         fp_fraction=fp,
         branch_fraction=branch,
+        mul_fraction=mul,
+        shift_fraction=shift,
         fdiv_per_block=draw(st.sampled_from((0, 1, 3))),
         dependency_distance=draw(st.sampled_from((1, 2, 4, 12))),
         footprint_words=draw(st.sampled_from((64, 2048, 16384))),
         access_stride=draw(st.sampled_from((1, 5))),
         prefetch_distance=draw(st.sampled_from((0, 4))),
+        sharing=draw(st.sampled_from(sharing)),
         seed=draw(st.integers(min_value=0, max_value=2**16)),
     ).validate()
 
 
+#: Deprecated alias — ported to the generator strategy (same axes plus
+#: the new knobs); kept so older callers keep importing.
+stream_specs = gen_specs
+
+
 def listing_for(spec):
     """The assembled listing of a spec's program (failure reports)."""
-    return build_stream_process(spec, index=0).program.listing()
+    return generate_process(spec, index=0, verify=False).program.listing()

@@ -19,7 +19,7 @@ from repro.core.processor import Processor
 from repro.core.simulator import Process
 from repro.core.sync import SyncManager
 from repro.workloads.kernels import KERNELS
-from repro.workloads.synthetic import StreamSpec, build_stream
+from repro.workloads.generator import GenSpec, generate_program
 from repro.experiments.microbench import run_to_halt
 
 SCHEMES = (("single", 1, 1), ("blocked", 2, 1), ("interleaved", 2, 1),
@@ -86,10 +86,10 @@ class TestSyntheticEquivalence:
     @pytest.mark.parametrize("scheme,n,width", SCHEMES)
     def test_synthetic_results_identical(self, scheme, n, width):
         def factory(slot):
-            spec = StreamSpec(seed=slot + 5, block_size=24,
-                              loop_iterations=6, footprint_words=128,
-                              fdiv_per_block=1)
-            return build_stream(
+            spec = GenSpec(seed=slot + 5, block_size=24,
+                           loop_iterations=6, footprint_words=128,
+                           fdiv_per_block=1)
+            return generate_program(
                 spec,
                 code_base=(slot + 1) * 0x8000 + slot * 0x11C0,
                 data_base=0x1000000 + slot * 0x211C0,

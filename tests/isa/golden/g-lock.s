@@ -1,0 +1,94 @@
+# program: g-lock
+# code_base: 0x0  data_base: 0x100000  entry: 0
+    .data
+data:
+    .word 0, 3, 6, 9, 12, 15, 18, 21
+    .word 24, 27, 30, 33, 36, 39, 42, 45
+    .word 48, 51, 54, 57, 60, 63, 2, 5
+    .word 8, 11, 14, 17, 20, 23, 26, 29
+    .word 32, 35, 38, 41, 44, 47, 50, 53
+    .word 56, 59, 62, 1, 4, 7, 10, 13
+    .word 16, 19, 22, 25, 28, 31, 34, 37
+    .word 40, 43, 46, 49, 52, 55, 58, 61
+    .word 0, 3, 6, 9, 12, 15, 18, 21
+    .word 24, 27, 30, 33, 36, 39, 42, 45
+    .word 48, 51, 54, 57, 60, 63, 2, 5
+    .word 8, 11, 14, 17, 20, 23, 26, 29
+    .word 32, 35, 38, 41, 44, 47, 50, 53
+    .word 56, 59, 62, 1, 4, 7, 10, 13
+    .word 16, 19, 22, 25, 28, 31, 34, 37
+    .word 40, 43, 46, 49, 52, 55, 58, 61
+    .word 0, 3, 6, 9, 12, 15, 18, 21
+    .word 24, 27, 30, 33, 36, 39, 42, 45
+    .word 48, 51, 54, 57, 60, 63, 2, 5
+    .word 8, 11, 14, 17, 20, 23, 26, 29
+    .word 32, 35, 38, 41, 44, 47, 50, 53
+    .word 56, 59, 62, 1, 4, 7, 10, 13
+    .word 16, 19, 22, 25, 28, 31, 34, 37
+    .word 40, 43, 46, 49, 52, 55, 58, 61
+    .word 0, 3, 6, 9, 12, 15, 18, 21
+    .word 24, 27, 30, 33, 36, 39, 42, 45
+    .word 48, 51, 54, 57, 60, 63, 2, 5
+    .word 8, 11, 14, 17, 20, 23, 26, 29
+    .word 32, 35, 38, 41, 44, 47, 50, 53
+    .word 56, 59, 62, 1, 4, 7, 10, 13
+    .word 16, 19, 22, 25, 28, 31, 34, 37
+    .word 40, 43, 46, 49, 52, 55, 58, 61
+    .text
+    lui s0, 64    # s0 = &data (footprint base)
+    lui s2, 64    # s2 = footprint end
+    ori s2, s2, 1024
+    fcvtif f0, zero
+    addi t0, zero, 1
+    fcvtif f1, t0
+    lui k1, 6080    # k1 = &shared lock word
+    lui k0, 6080    # k0 = shared data base
+    ori k0, k0, 4
+__outer1:
+    or s1, s0, zero
+    addi s6, zero, 8
+__loop2:
+    sw t0, 0(s1)
+    addi s1, s1, 4
+    blt s1, s2, 15
+    or s1, s0, zero
+__wrap3:
+    lw t1, 0(s1)
+    addi s1, s1, 4
+    blt s1, s2, 19
+    or s1, s0, zero
+__wrap4:
+    addi t2, t1, 1
+    fadd f5, f2, f8
+    addi t4, t1, 1
+    addi t5, t2, 1
+    sw t5, 0(s1)
+    addi s1, s1, 4
+    blt s1, s2, 27
+    or s1, s0, zero
+__wrap5:
+    lw t6, 0(s1)
+    addi s1, s1, 4
+    blt s1, s2, 31
+    or s1, s0, zero
+__wrap6:
+    fadd f2, f5, f5
+    addi t0, t4, 1
+    andi t8, t0, 1
+    beq t8, zero, 36
+    addi t9, t9, 1
+__syn7:
+    fadd f4, f2, f2
+    addi t2, t0, 1
+    addi t3, t2, 1
+    addi t4, t2, 1
+    addi t5, t1, 1
+    lock 0(k1)
+    lw t8, 288(k0)
+    addi t8, t8, 1
+    sw t8, 288(k0)
+    unlock 0(k1)
+    addi s6, s6, -1
+    bgtz s6, 11
+    j 9
+    halt

@@ -1,0 +1,241 @@
+"""Assembler/builder ergonomics: constants, strings, pointers, notes.
+
+The directives and builder helpers that make generated (and
+hand-written) programs readable — ``.equ`` constants, ``.string``
+literals, ``.word`` symbol references and repeats, label-less
+continuation lines, builder pointer variables and ``note=``
+annotations — plus the contract that ties them together:
+``Program.to_source()`` output re-assembles into a bit-identical
+program.
+"""
+
+import pytest
+
+from repro.analysis.verifier import program_fingerprint
+from repro.isa.assembler import AssemblerError, assemble
+from repro.isa.builder import AsmBuilder
+
+
+class TestEquConstants:
+    def test_equ_in_immediate(self):
+        p = assemble("""
+            .equ STEP, 12
+            .text
+            addi t0, t0, STEP
+            halt
+        """)
+        assert p.instructions[0].imm == 12
+
+    def test_equ_in_memory_offset_and_space(self):
+        p = assemble("""
+            .equ SIZE, 8
+            .data
+            buf: .space SIZE
+            .text
+            lw t0, SIZE(s0)
+            halt
+        """)
+        assert len(p.data.words) == 8
+        assert p.instructions[0].imm == 8
+
+    def test_equ_chains_and_li(self):
+        p = assemble("""
+            .equ BASE, 0x100
+            .equ LIMIT, BASE
+            .text
+            li t0, LIMIT
+            halt
+        """)
+        assert p.instructions[0].imm == 0x100
+
+    def test_la_of_constant(self):
+        p = assemble("""
+            .equ PORT, 0x2000
+            .text
+            la t0, PORT
+            halt
+        """)
+        assert p.instructions[0].imm == 0x2000 >> 14 or \
+            p.instructions[0].imm == 0x2000
+
+    def test_duplicate_constant_rejected(self):
+        with pytest.raises(AssemblerError, match="duplicate constant"):
+            assemble(".equ A, 1\n.equ A, 2\nhalt")
+
+    def test_malformed_equ_rejected(self):
+        with pytest.raises(AssemblerError, match="expects NAME"):
+            assemble(".equ JUSTANAME\nhalt")
+
+
+class TestStringLiterals:
+    def test_one_word_per_char_plus_nul(self):
+        p = assemble("""
+            .data
+            msg: .string "hi"
+            .text
+            halt
+        """)
+        assert p.data.words == [ord("h"), ord("i"), 0]
+        assert p.data.kinds["msg"] == "string"
+
+    def test_asciiz_alias(self):
+        p = assemble('.data\nmsg: .asciiz "a"\n.text\nhalt')
+        assert p.data.words == [ord("a"), 0]
+
+    def test_escapes(self):
+        p = assemble('.data\nm: .string "a\\n\\t\\\\\\""\n.text\nhalt')
+        assert p.data.words == [ord("a"), 10, 9, 92, 34, 0]
+
+    def test_comment_chars_inside_string_kept(self):
+        p = assemble('.data\nm: .string "x#y;z"  # a real comment\n'
+                     '.text\nhalt')
+        assert p.data.words == [ord("x"), ord("#"), ord("y"), ord(";"),
+                                ord("z"), 0]
+
+    def test_unterminated_string_rejected(self):
+        with pytest.raises(AssemblerError, match="bad string"):
+            assemble('.data\nm: .string "oops\n.text\nhalt')
+
+    def test_unknown_escape_rejected(self):
+        with pytest.raises(AssemblerError, match="unknown escape"):
+            assemble('.data\nm: .string "\\q"\n.text\nhalt')
+
+    def test_string_outside_data_rejected(self):
+        with pytest.raises(AssemblerError, match="outside .data"):
+            assemble('.text\n.string "nope"\nhalt')
+
+
+class TestWordErgonomics:
+    def test_symbol_reference_makes_pointer(self):
+        p = assemble("""
+            .data
+            arr: .space 4
+            p_arr: .word arr
+            .text
+            halt
+        """, data_base=0x1000)
+        assert p.data.words[4] == 0x1000   # &arr
+
+    def test_repeat_syntax(self):
+        p = assemble(".data\nv: .word 7 : 3, 9\n.text\nhalt")
+        assert p.data.words == [7, 7, 7, 9]
+
+    def test_repeat_count_may_be_constant(self):
+        p = assemble(".equ N, 2\n.data\nv: .word 1 : N\n.text\nhalt")
+        assert p.data.words == [1, 1]
+
+    def test_bad_repeat_count_rejected(self):
+        with pytest.raises(AssemblerError, match="bad repeat count"):
+            assemble(".data\nv: .word 1 : 0\n.text\nhalt")
+
+    def test_continuation_lines_extend_symbol(self):
+        p = assemble("""
+            .data
+            tbl: .word 1, 2
+                 .word 3, 4
+                 .space 2
+            .text
+            la t0, tbl
+            halt
+        """)
+        assert p.data.words == [1, 2, 3, 4, 0, 0]
+        assert p.data.symbols["tbl"] == 0
+        assert len(p.data.symbols) == 1   # one symbol spans all 6 words
+
+    def test_continuation_without_symbol_defines_anonymous(self):
+        # A label-less .word with no prior symbol cannot extend
+        # anything; it becomes an anonymous region, still addressable
+        # only positionally.
+        p = assemble(".data\n.word 5\n.text\nhalt")
+        assert p.data.words == [5]
+
+
+class TestBuilderErgonomics:
+    def test_string_helper(self):
+        b = AsmBuilder("t", data_base=0x80)
+        addr = b.string("msg", "ok")
+        b.halt()
+        p = b.build()
+        assert addr == 0x80
+        assert p.data.words == [ord("o"), ord("k"), 0]
+        assert p.data.kinds["msg"] == "string"
+
+    def test_ptr_to_symbol_and_literal(self):
+        b = AsmBuilder("t", data_base=0x40)
+        b.word("arr", [1, 2])
+        a1 = b.ptr("p_arr", "arr")
+        b.ptr("p_raw", 0xBEEF)
+        b.halt()
+        p = b.build()
+        assert p.data.words[2] == 0x40      # &arr
+        assert p.data.words[3] == 0xBEEF
+        assert a1 == 0x48
+
+    def test_note_attaches_to_next_instruction(self):
+        b = AsmBuilder("t")
+        b.note("setup")
+        b.addi("t0", "zero", 1)
+        b.halt()
+        p = b.build()
+        assert p.annotations == {0: "setup"}
+
+    def test_li_note_and_la_auto_note(self):
+        b = AsmBuilder("t", data_base=0x40)
+        b.word("data", [0])
+        b.li("t0", 5, note="count")
+        b.la("t1", "data")
+        b.halt()
+        p = b.build()
+        assert p.annotations[0] == "count"
+        assert p.annotations[1] == "t1 = &data"
+
+    def test_annotations_never_change_fingerprint(self):
+        def build(with_notes):
+            b = AsmBuilder("t", data_base=0x40)
+            b.word("data", [0])
+            b.li("t0", 5, note="count" if with_notes else None)
+            b.la("t1", "data") if with_notes else b.li("t1", 0x40)
+            b.halt()
+            return b.build()
+        assert program_fingerprint(build(True)) == \
+            program_fingerprint(build(False))
+
+
+class TestSourceRoundTrip:
+    def _round_trip(self, program):
+        return assemble(program.to_source(), name=program.name,
+                        code_base=program.code_base,
+                        data_base=program.data.base)
+
+    def test_strings_pointers_and_notes_round_trip(self):
+        b = AsmBuilder("rt", code_base=0x400, data_base=0x9000)
+        b.string("greeting", "hello\n")
+        b.word("counts", [3, 1, 4, 1, 5])
+        b.space("scratch", 16)
+        b.ptr("p_greeting", "greeting")
+        b.la("s0", "counts")
+        b.li("t1", 5, note="loop bound")
+        loop = b.label("loop")
+        b.lw("t2", 0, "s0")
+        b.addi("t3", "t3", 1)
+        b.addi("t1", "t1", -1)
+        b.bgtz("t1", loop)
+        b.halt()
+        program = b.build()
+        source = program.to_source()
+        # The rendered source keeps the ergonomic forms...
+        assert '.string "hello\\n"' in source
+        assert ".space 16" in source
+        assert "# loop bound" in source
+        # ...and reproduces the program exactly.
+        again = self._round_trip(program)
+        assert program_fingerprint(again) == program_fingerprint(program)
+        assert again.data.words == program.data.words
+
+    def test_all_zero_region_renders_as_space(self):
+        b = AsmBuilder("rt", data_base=0x100)
+        b.space("zeros", 64)
+        b.halt()
+        source = b.build().to_source()
+        assert ".space 64" in source
+        assert ".word" not in source

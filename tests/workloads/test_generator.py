@@ -1,0 +1,327 @@
+"""The parameterised workload generator: determinism, control, oracle.
+
+Four contract areas:
+
+* **Determinism** — a program is a pure function of its
+  :class:`GenSpec`; same spec, same fingerprint, across processes and
+  machines.
+* **Statistical control** — the mix/footprint knobs actually move the
+  profiled properties of the emitted stream (ported from the old
+  synthetic-stream tests, which this generator supersedes).
+* **Canonical form** — ``to_text``/``from_text`` and
+  ``to_dict``/``from_dict`` round-trip exactly, so specs work as cache
+  keys and service point names.
+* **Verify at birth** — the :mod:`repro.analysis` verifier is the
+  generator's oracle: every emitted program is clean, and the emitted
+  assembly re-assembles into the same program.
+"""
+
+import dataclasses
+
+import pytest
+from hypothesis import assume, given, settings, strategies as st
+
+from repro.analysis.verifier import program_fingerprint
+from repro.isa.assembler import assemble
+from repro.isa.encoding import encode, decode
+from repro.isa.executor import run_functional
+from repro.workloads.characterize import profile_program
+from repro.workloads.generator import (
+    GenSpec,
+    GenerationError,
+    SHARING_PATTERNS,
+    generate_family,
+    generate_process,
+    generate_processes,
+    generate_program,
+    verify_generated,
+)
+
+
+def profile(spec, iterations=1):
+    return profile_program(generate_program(spec, iterations=iterations,
+                                            verify=False))
+
+
+class TestSpecValidation:
+    def test_default_spec_valid(self):
+        GenSpec().validate()
+
+    def test_mix_overflow_rejected(self):
+        with pytest.raises(ValueError):
+            GenSpec(load_fraction=0.5, store_fraction=0.5).validate()
+
+    def test_mix_overflow_counts_new_fractions(self):
+        with pytest.raises(ValueError):
+            GenSpec(load_fraction=0.4, mul_fraction=0.3,
+                    shift_fraction=0.3).validate()
+
+    def test_tiny_block_rejected(self):
+        with pytest.raises(ValueError):
+            GenSpec(block_size=2).validate()
+
+    def test_tiny_footprint_rejected(self):
+        with pytest.raises(ValueError):
+            GenSpec(footprint_words=4).validate()
+
+    def test_bad_nest_rejected(self):
+        with pytest.raises(ValueError):
+            GenSpec(loop_nest=3).validate()
+
+    def test_bad_sharing_rejected(self):
+        with pytest.raises(ValueError):
+            GenSpec(sharing="sometimes").validate()
+
+    def test_oversized_shared_region_rejected(self):
+        # > 1024 words would push static offsets past the load/store
+        # immediate range.
+        with pytest.raises(ValueError):
+            GenSpec(sharing="rw", shared_words=2048).validate()
+
+
+class TestDeterminism:
+    def test_same_spec_same_fingerprint(self):
+        spec = GenSpec(seed=9)
+        a = generate_program(spec, verify=False)
+        b = generate_program(spec, verify=False)
+        assert program_fingerprint(a) == program_fingerprint(b)
+        assert a.data.words == b.data.words
+
+    def test_seeds_differ(self):
+        a = generate_program(GenSpec(seed=9), verify=False)
+        b = generate_program(GenSpec(seed=10), verify=False)
+        assert program_fingerprint(a) != program_fingerprint(b)
+
+    def test_spec_fingerprint_ignores_nothing(self):
+        # Any knob change must change the spec fingerprint (spot-check
+        # one knob per group).
+        base = GenSpec()
+        for change in (dict(seed=1), dict(load_fraction=0.2),
+                       dict(dependency_distance=1),
+                       dict(footprint_words=64), dict(loop_nest=2),
+                       dict(sharing="rw")):
+            assert dataclasses.replace(base, **change).fingerprint() \
+                != base.fingerprint(), change
+
+
+class TestCanonicalForm:
+    def test_default_spec_text_is_empty(self):
+        assert GenSpec().to_text() == ""
+        assert GenSpec.from_text("") == GenSpec()
+
+    def test_text_round_trip(self):
+        spec = GenSpec(name="rt", seed=7, fp_fraction=0.2,
+                       dependency_distance=2, sharing="lock",
+                       shared_words=64, loop_nest=2)
+        assert GenSpec.from_text(spec.to_text()) == spec
+
+    def test_text_is_colon_free(self):
+        # The service CLI splits points on ":", so the canonical text
+        # must never contain one.
+        spec = GenSpec(name="svc", seed=3, access_stride=5)
+        assert ":" not in spec.to_text()
+
+    def test_dict_round_trip(self):
+        spec = GenSpec(seed=5, mul_fraction=0.05, shift_fraction=0.05,
+                       blocks_per_iteration=2)
+        assert GenSpec.from_dict(spec.to_dict()) == spec
+
+    def test_json_text_accepted(self):
+        spec = GenSpec.from_text('{"seed": 3, "block_size": 16}')
+        assert spec == GenSpec(seed=3, block_size=16)
+
+    def test_hex_integers_accepted(self):
+        assert GenSpec.from_text("seed=0x10") == GenSpec(seed=16)
+
+    def test_unknown_field_rejected(self):
+        with pytest.raises(ValueError, match="unknown GenSpec field"):
+            GenSpec.from_text("warp_factor=9")
+        with pytest.raises(ValueError, match="unknown GenSpec field"):
+            GenSpec.from_dict({"warp_factor": 9})
+
+    def test_bad_assignment_rejected(self):
+        with pytest.raises(ValueError, match="want k=v"):
+            GenSpec.from_text("seed")
+
+    def test_invalid_spec_text_rejected(self):
+        # from_text validates: a parseable but invalid spec still raises.
+        with pytest.raises(ValueError):
+            GenSpec.from_text("load_fraction=0.5;store_fraction=0.5")
+
+    @given(seed=st.integers(0, 2**16),
+           load=st.sampled_from((0.0, 0.15, 0.3)),
+           nest=st.sampled_from((1, 2)),
+           sharing=st.sampled_from(SHARING_PATTERNS))
+    @settings(max_examples=25, deadline=None)
+    def test_text_round_trip_property(self, seed, load, nest, sharing):
+        spec = GenSpec(seed=seed, load_fraction=load, loop_nest=nest,
+                       sharing=sharing)
+        assert GenSpec.from_text(spec.to_text()) == spec
+
+
+class TestStatisticalControl:
+    def test_memory_fraction_tracks_spec(self):
+        light = profile(GenSpec(load_fraction=0.05,
+                                store_fraction=0.02, seed=1))
+        heavy = profile(GenSpec(load_fraction=0.30,
+                                store_fraction=0.15, seed=1))
+        assert heavy.memory_fraction > light.memory_fraction + 0.1
+
+    def test_fp_fraction_tracks_spec(self):
+        # Pointer-advance/branch support instructions dilute the raw
+        # fractions; the ordering is what the spec guarantees.
+        none = profile(GenSpec(fp_fraction=0.0, seed=2))
+        lots = profile(GenSpec(fp_fraction=0.35, seed=2))
+        assert none.fp_fraction < 0.05
+        assert lots.fp_fraction > 0.15
+
+    def test_divides_emitted(self):
+        p = profile(GenSpec(fdiv_per_block=2, seed=3))
+        assert p.fp_divides == 2 * GenSpec().loop_iterations
+        assert p.backoffs == p.fp_divides
+
+    def test_footprint_respected(self):
+        small = profile(GenSpec(footprint_words=64,
+                                load_fraction=0.3, seed=4))
+        assert small.data_words <= 64 + 8
+
+    def test_mul_fraction_emits_multiplies(self):
+        prog = generate_program(GenSpec(mul_fraction=0.2, seed=5),
+                                verify=False)
+        muls = [i for i in prog.instructions
+                if i.disassemble().startswith("mul")]
+        assert muls
+
+    def test_blocks_per_iteration_grows_body(self):
+        one = generate_program(GenSpec(seed=6), verify=False)
+        two = generate_program(GenSpec(seed=6, blocks_per_iteration=2),
+                               verify=False)
+        assert len(two.instructions) > len(one.instructions) * 1.5
+
+    def test_sharing_patterns_emit_their_ops(self):
+        def mnemonics(sharing):
+            prog = generate_program(GenSpec(sharing=sharing, seed=7),
+                                    verify=False)
+            return {i.disassemble().split()[0]
+                    for i in prog.instructions}
+        assert "lock" not in mnemonics("private")
+        assert "lock" in mnemonics("lock")
+        assert "unlock" in mnemonics("lock")
+        assert "sw" in mnemonics("rw")
+
+
+class TestVerifyAtBirth:
+    def test_default_spec_verifies(self):
+        generate_program(GenSpec(seed=1))    # raises on any finding
+
+    def test_every_sharing_pattern_verifies(self):
+        for sharing in SHARING_PATTERNS:
+            generate_program(GenSpec(sharing=sharing, seed=2,
+                                     block_size=16, loop_iterations=8,
+                                     footprint_words=64))
+
+    def test_verify_generated_rejects_broken_program(self):
+        prog = generate_program(GenSpec(seed=3, block_size=8,
+                                        loop_iterations=4,
+                                        footprint_words=64),
+                                verify=False)
+        # Retarget the first branch out of range: a structural error
+        # the oracle must refuse.
+        branch = next(i for i in prog.instructions if i.is_control)
+        branch.imm = len(prog.instructions) + 500
+        with pytest.raises(GenerationError):
+            verify_generated(prog)
+
+    def test_generation_error_is_value_error(self):
+        assert issubclass(GenerationError, ValueError)
+
+
+class TestGeneratedProgramsAreSound:
+    @settings(max_examples=25, deadline=None)
+    @given(seed=st.integers(0, 10_000),
+           load=st.floats(0.0, 0.3), store=st.floats(0.0, 0.2),
+           fp=st.floats(0.0, 0.3), branch=st.floats(0.0, 0.15),
+           dist=st.integers(1, 12), stride=st.integers(1, 16),
+           sharing=st.sampled_from(SHARING_PATTERNS))
+    def test_random_specs_run_and_encode(self, seed, load, store, fp,
+                                         branch, dist, stride, sharing):
+        """Any generated program halts, and every instruction encodes."""
+        assume(load + store + fp + branch <= 0.9)
+        spec = GenSpec(seed=seed, load_fraction=load,
+                       store_fraction=store, fp_fraction=fp,
+                       branch_fraction=branch,
+                       dependency_distance=dist,
+                       access_stride=stride, sharing=sharing,
+                       block_size=24, loop_iterations=8,
+                       footprint_words=256)
+        program = generate_program(spec, iterations=1, verify=False)
+        state, _ = run_functional(program, max_steps=200_000)
+        assert state.halted
+        for i, inst in enumerate(program.instructions):
+            assert decode(encode(inst, i), i).disassemble() == \
+                inst.disassemble()
+
+    @settings(max_examples=15, deadline=None)
+    @given(seed=st.integers(0, 10_000),
+           sharing=st.sampled_from(SHARING_PATTERNS),
+           nest=st.sampled_from((1, 2)))
+    def test_emitted_assembly_reassembles_identically(self, seed,
+                                                      sharing, nest):
+        """to_source() is a lossless serialisation of any spec."""
+        spec = GenSpec(seed=seed, sharing=sharing, loop_nest=nest,
+                       block_size=16, loop_iterations=8,
+                       footprint_words=64)
+        program = generate_program(spec, verify=False)
+        again = assemble(program.to_source(), name=program.name,
+                         code_base=program.code_base,
+                         data_base=program.data.base)
+        assert program_fingerprint(again) == program_fingerprint(program)
+        assert again.data.words == program.data.words
+
+
+class TestFamilies:
+    def test_family_names_and_seeds(self):
+        family = generate_family(GenSpec(name="fam", seed=100), count=3,
+                                 verify=False)
+        assert [m.name for m, _ in family] == \
+            ["fam-0000", "fam-0001", "fam-0002"]
+        assert [m.seed for m, _ in family] == [100, 101, 102]
+
+    def test_family_members_differ(self):
+        family = generate_family(GenSpec(seed=1), count=2, verify=False)
+        fps = [program_fingerprint(p) for _, p in family]
+        assert len(set(fps)) == 2
+
+    def test_family_deterministic(self):
+        a = generate_family(GenSpec(seed=4), count=2, verify=False)
+        b = generate_family(GenSpec(seed=4), count=2, verify=False)
+        assert [program_fingerprint(p) for _, p in a] == \
+            [program_fingerprint(p) for _, p in b]
+
+    def test_distinct_address_spaces(self):
+        a = generate_process(GenSpec(seed=1), index=0, verify=False)
+        b = generate_process(GenSpec(seed=1), index=1, verify=False)
+        assert a.program.code_base != b.program.code_base
+        assert a.program.data.base != b.program.data.base
+
+    def test_runs_under_simulator(self):
+        from repro.config import SystemConfig
+        from repro.core.simulator import WorkstationSimulator
+        procs = generate_processes(GenSpec(seed=1), 2, verify=False)
+        sim = WorkstationSimulator(procs, scheme="interleaved",
+                                   n_contexts=2,
+                                   config=SystemConfig.fast())
+        res = sim.measure(10_000, warmup=2_000)
+        assert res.stats.retired > 0
+
+    def test_shared_pattern_processes_share_one_region(self):
+        from repro.config import SystemConfig
+        from repro.core.simulator import WorkstationSimulator
+        spec = GenSpec(seed=2, sharing="lock", block_size=16,
+                       loop_iterations=8, footprint_words=64)
+        procs = generate_processes(spec, 2, verify=False)
+        sim = WorkstationSimulator(procs, scheme="interleaved",
+                                   n_contexts=2,
+                                   config=SystemConfig.fast())
+        res = sim.measure(20_000, warmup=2_000)
+        assert res.stats.retired > 0
