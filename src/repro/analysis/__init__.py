@@ -25,14 +25,23 @@ from repro.analysis.burst_audit import (audit_bursts, maximal_runs,
 
 _LINT_EXPORTS = ("lint_codebase", "lint_file", "parse_allowlist")
 
+_RACE_EXPORTS = ("analyze_races", "race_findings", "collect_accesses",
+                 "dynamic_races", "uncovered_races", "AccessRecord",
+                 "DynamicRace", "SharedAccess", "RaceFinding",
+                 "findings_to_diagnostics", "split_sanctioned",
+                 "sanction_at")
+
 
 def __getattr__(name):
     # Lazy: keeps `python -m repro.analysis.lint` (the pre-commit hook)
     # from importing the module twice, and the strict-load hook from
-    # paying for the linter it never uses.
+    # paying for the linter (and the race analyzer) it never uses.
     if name in _LINT_EXPORTS:
         from repro.analysis import lint
         return getattr(lint, name)
+    if name in _RACE_EXPORTS:
+        from repro.analysis import races
+        return getattr(races, name)
     raise AttributeError("module %r has no attribute %r"
                          % (__name__, name))
 
@@ -41,5 +50,8 @@ __all__ = [
     "render_report", "ProgramCFG", "EXIT", "verify_program",
     "program_fingerprint", "ProgramVerificationError", "audit_bursts",
     "maximal_runs", "DEFAULT_WIDTHS", "lint_codebase", "lint_file",
-    "parse_allowlist",
+    "parse_allowlist", "analyze_races", "race_findings",
+    "collect_accesses", "dynamic_races", "uncovered_races",
+    "AccessRecord", "DynamicRace", "SharedAccess", "RaceFinding",
+    "findings_to_diagnostics", "split_sanctioned", "sanction_at",
 ]

@@ -13,8 +13,10 @@ Numbering convention::
     L3xx  codebase lint, determinism pass
     L4xx  codebase lint, stats-parity and counter-registration passes
     L5xx  codebase lint, allowlist hygiene
+    R7xx  cross-context data-race analysis (lockset + barrier phase)
 """
 
+import hashlib
 from dataclasses import dataclass
 
 #: Severity levels.  ``ERROR`` findings reject a program (strict mode
@@ -88,7 +90,36 @@ CATALOG = {
                     "backends expose different method sets"),
     "L602": (ERROR, "backend parity: the python and numpy scoreboard "
                     "backends declare different __slots__ state"),
+    # -- cross-context data races ------------------------------------------
+    "R701": (ERROR, "write/write data race: overlapping shared writes "
+                    "from different contexts with disjoint locksets and "
+                    "compatible barrier phases"),
+    "R702": (ERROR, "read/write data race: a shared read overlaps "
+                    "another context's write with disjoint locksets and "
+                    "compatible barrier phases"),
+    "R703": (WARNING, "unlock-protected read of lock-protected data: the "
+                      "writer consistently holds a lock the reader never "
+                      "acquires"),
+    "R704": (WARNING, "shared access with a widening-unbounded address "
+                      "interval (excluded from the pairwise race join; "
+                      "audit manually)"),
 }
+
+#: code prefix -> stable machine-readable category for JSON consumers.
+RULE_CATEGORIES = {
+    "V1": "verifier",
+    "B2": "burst-audit",
+    "L3": "determinism",
+    "L4": "stats-parity",
+    "L5": "allowlist",
+    "L6": "backend-parity",
+    "R7": "races",
+}
+
+
+def rule_category(code):
+    """Stable category slug for a diagnostic code (JSON schema field)."""
+    return RULE_CATEGORIES.get(code[:2], "other")
 
 
 @dataclass(frozen=True)
@@ -109,6 +140,9 @@ class Diagnostic:
     #: Codebase-side location.
     path: str = ""
     line: int = -1
+    #: Lock words definitely held at the finding site (sorted addresses;
+    #: populated by the lock-balance and race analyses).
+    held_locks: tuple = ()
 
     def __post_init__(self):
         if self.code not in CATALOG:
@@ -134,9 +168,23 @@ class Diagnostic:
         return "%s %-7s %s: %s" % (self.code, self.severity,
                                    self.location, self.message)
 
+    @property
+    def fingerprint(self):
+        """Stable identity of this finding across runs (12 hex chars).
+
+        Hashes code + location + message, so re-running the analyzer on
+        an unchanged input reproduces the same fingerprint and CI/service
+        consumers can diff finding sets without scraping text.
+        """
+        key = "%s|%s|%s|%d|%s|%d" % (self.code, self.message, self.path,
+                                     self.line, self.program, self.pc)
+        return hashlib.sha256(key.encode()).hexdigest()[:12]
+
     def to_dict(self):
         d = {"code": self.code, "severity": self.severity,
-             "message": self.message}
+             "message": self.message,
+             "fingerprint": self.fingerprint,
+             "rule_category": rule_category(self.code)}
         if self.path:
             d["path"] = self.path
             if self.line >= 0:
@@ -145,6 +193,8 @@ class Diagnostic:
             d["program"] = self.program
             if self.pc >= 0:
                 d["pc"] = self.pc
+        if self.held_locks:
+            d["held_locks"] = list(self.held_locks)
         return d
 
 

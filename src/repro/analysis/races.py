@@ -1,0 +1,440 @@
+"""Cross-context data-race detection (R7xx).
+
+Eraser-style whole-*group* analysis: one decoded
+:class:`~repro.isa.program.Program` per context, analysed individually
+with the interval + lockset + barrier-phase abstract interpretation of
+:mod:`repro.analysis.absint`, then joined pairwise across contexts.
+
+Per context the analysis records every reachable static load/store as a
+:class:`SharedAccess` — the byte-interval its effective address may
+cover, whether it writes, the lock words *definitely* held (must-held
+lockset), and the barrier phase (number of BARRIERs executed on the
+path; ⊤ when loop-carried).  Because per-context data regions are
+base-staggered by construction (generator and SPLASH layouts alike),
+"shared" needs no region declaration: two accesses are a race candidate
+exactly when their intervals from *different* contexts overlap.
+
+Rules::
+
+    R701  error    write/write: overlapping intervals, disjoint
+                   locksets, compatible barrier phases
+    R702  error    read/write: same conditions, exactly one write
+    R703  warning  read/write where the writer consistently holds a
+                   lock the reader never acquires (Eraser's
+                   "initialisation read" refinement — likely a bug,
+                   possibly an intentional unlocked peek)
+    R704  warning  an access whose interval the widening left
+                   unbounded may conflict with another context;
+                   excluded from the precise pairwise join, surfaced
+                   for manual audit
+
+Soundness contract (tested by the dynamic oracle in
+``tests/analysis/test_race_oracle.py``): **static ⊇ dynamic** — every
+race observed by the access-log replay checker is reported by one of
+R701–R704.  The abstraction errs only in the safe directions: address
+intervals over-approximate the words an access may touch, must-held
+locksets under-approximate the locks a path definitely holds (an
+unresolvable lock word is *dropped*, never trusted), and an unknown
+barrier phase is compatible with everything.
+
+Determinism: the finding set is a pure function of the program
+*contents* and is invariant under permutation of the context list
+(messages and locations name programs, never context indices), which
+``tests/analysis/test_races.py`` checks with a hypothesis property.
+"""
+
+import re
+from dataclasses import dataclass
+
+from repro.analysis.absint import analyze, access_interval
+from repro.analysis.diagnostics import Diagnostic
+from repro.isa.instruction import KIND_MEM
+
+#: Byte width of every data access in the ISA (lw/sw/lwf/swf).
+_ACCESS_BYTES = 4
+
+
+@dataclass(frozen=True)
+class SharedAccess:
+    """One reachable static load/store with its abstract context."""
+
+    ctx: int              # index into the analysed program list
+    program: str          # program name (stable under permutation)
+    pc: int
+    is_write: bool
+    lo: object            # int, or None for -inf
+    hi: object            # int (inclusive byte), or None for +inf
+    locks: frozenset      # must-held lock-word addresses
+    phase: object         # int, or None for loop-carried/joined ⊤
+
+    @property
+    def bounded(self):
+        return self.lo is not None and self.hi is not None
+
+    def contains(self, addr):
+        """May this access touch byte address ``addr``?"""
+        return ((self.lo is None or self.lo <= addr)
+                and (self.hi is None or addr <= self.hi))
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """One classified race candidate (``b`` is None for R704)."""
+
+    code: str
+    a: SharedAccess
+    b: object
+
+    def involves(self, ctx_pair, addr):
+        """Does this finding report a dynamic race at ``addr`` between
+        the (unordered) context pair?"""
+        if self.b is None:
+            return self.a.ctx in ctx_pair and self.a.contains(addr)
+        return ({self.a.ctx, self.b.ctx} == set(ctx_pair)
+                and self.a.contains(addr) and self.b.contains(addr))
+
+
+def collect_accesses(program, ctx=0, result=None):
+    """Every reachable static load/store of ``program`` as
+    :class:`SharedAccess` records (one per pc, at the joined state).
+
+    The ctx-independent record list is memoised beside the absint
+    fixpoint (``Program._analysis_cache``) so repeated group analyses —
+    lint running verify then races, or the same program appearing in
+    several groups — walk the converged states once.
+    """
+    memo = getattr(program, "_analysis_cache", None)
+    base = memo.get("accesses") if memo is not None else None
+    if base is None:
+        if result is None:
+            result = analyze(program)
+        base = []
+
+        def visit(pc, inst, state):
+            if inst.kind != KIND_MEM:
+                return
+            lo, hi = access_interval(state, inst)
+            base.append(SharedAccess(
+                ctx=0, program=program.name, pc=pc,
+                is_write=inst.info.is_store,
+                lo=lo, hi=None if hi is None else hi + _ACCESS_BYTES - 1,
+                locks=state.must_locks(), phase=state.phase))
+
+        result.walk(visit)
+        if memo is not None:
+            memo["accesses"] = base
+    if ctx == 0:
+        return list(base)
+    return [SharedAccess(ctx, a.program, a.pc, a.is_write, a.lo, a.hi,
+                         a.locks, a.phase)
+            for a in base]
+
+
+def _phases_compatible(a, b):
+    return a.phase is None or b.phase is None or a.phase == b.phase
+
+
+def _locks_disjoint(a, b):
+    return not (a.locks & b.locks)
+
+
+def _may_overlap(a, b):
+    if a.lo is not None and b.hi is not None and a.lo > b.hi:
+        return False
+    if b.lo is not None and a.hi is not None and b.lo > a.hi:
+        return False
+    return True
+
+
+def _classify(a, b):
+    """R-code for a conflicting bounded pair (≥1 write, disjoint
+    locksets, compatible phases already established)."""
+    if a.is_write and b.is_write:
+        return "R701"
+    reader, writer = (a, b) if b.is_write else (b, a)
+    if not reader.locks and writer.locks:
+        return "R703"
+    return "R702"
+
+
+def _sort_key(acc):
+    return (acc.program, acc.pc, acc.is_write, acc.ctx)
+
+
+def race_findings(programs):
+    """The structured finding set for one context group.
+
+    ``programs`` is one decoded Program per context (list index =
+    context id).  Returns a deterministically ordered list of
+    :class:`RaceFinding`, deduplicated by static site pair — the same
+    (program, pc) conflict observed between several context pairs is
+    reported once.
+    """
+    if len(programs) < 2:
+        return []
+    accesses = []
+    for ctx, program in enumerate(programs):
+        accesses.extend(collect_accesses(program, ctx))
+
+    bounded = sorted((a for a in accesses if a.bounded),
+                     key=lambda a: (a.lo, a.hi, _sort_key(a)))
+    unbounded = [a for a in accesses if not a.bounded]
+
+    findings = {}
+
+    def record(code, a, b):
+        # One finding per static site pair per context pair: the
+        # context ids stay on the finding (the dynamic-oracle coverage
+        # check matches on them); the Diagnostic conversion dedupes
+        # down to site pairs for reporting.
+        if b is not None and _sort_key(b) < _sort_key(a):
+            a, b = b, a
+        key = (code, a.program, a.pc, a.ctx,
+               None if b is None else b.program,
+               -1 if b is None else b.pc,
+               -1 if b is None else b.ctx)
+        if key not in findings:
+            findings[key] = RaceFinding(code, a, b)
+
+    # Precise pairwise join over bounded accesses: a sweep over the
+    # lo-sorted list keeps the quadratic factor on the (small) set of
+    # genuinely overlapping intervals instead of all accesses.
+    active = []
+    for acc in bounded:
+        active = [o for o in active if o.hi >= acc.lo]
+        for other in active:
+            if other.ctx == acc.ctx:
+                continue
+            if not (acc.is_write or other.is_write):
+                continue
+            if not _locks_disjoint(acc, other):
+                continue
+            if not _phases_compatible(acc, other):
+                continue
+            record(_classify(acc, other), acc, other)
+        active.append(acc)
+
+    # Widening-unbounded accesses: excluded from the precise join
+    # (their interval would overlap everything); reported as an
+    # audit-grade warning when a conflicting access from another
+    # context cannot be ruled out.
+    for acc in unbounded:
+        for other in accesses:
+            if other.ctx == acc.ctx:
+                continue
+            if not (acc.is_write or other.is_write):
+                continue
+            if not _may_overlap(acc, other):
+                continue
+            if not _locks_disjoint(acc, other):
+                continue
+            if not _phases_compatible(acc, other):
+                continue
+            record("R704", acc, None)
+            break
+
+    return [findings[k] for k in sorted(findings, key=_race_key)]
+
+
+def _race_key(key):
+    code, prog_a, pc_a, ctx_a, prog_b, pc_b, ctx_b = key
+    return (code, prog_a, pc_a, prog_b or "", pc_b, ctx_a, ctx_b)
+
+
+def _fmt_interval(acc):
+    lo = "-inf" if acc.lo is None else "0x%x" % acc.lo
+    hi = "+inf" if acc.hi is None else "0x%x" % acc.hi
+    return "[%s, %s]" % (lo, hi)
+
+
+def _fmt_locks(locks):
+    if not locks:
+        return "no locks"
+    return "locks " + ",".join("0x%x" % w for w in sorted(locks))
+
+
+def _fmt_phase(phase):
+    return "phase *" if phase is None else "phase %d" % phase
+
+
+def _fmt_access(acc):
+    return "%s@pc=%d %s %s (%s, %s)" % (
+        acc.program, acc.pc, "writes" if acc.is_write else "reads",
+        _fmt_interval(acc), _fmt_locks(acc.locks), _fmt_phase(acc.phase))
+
+
+#: Message/Diagnostic construction cache, keyed by the ctx-independent
+#: content of a finding (so the same site pair reported across repeated
+#: group analyses — lint verify + races, sweeps — formats once).
+#: Diagnostics are frozen, so sharing instances is safe.
+_DIAG_CACHE = {}
+_DIAG_CACHE_MAX = 4096
+
+
+def _site_key(acc):
+    return (acc.program, acc.pc, acc.is_write, acc.lo, acc.hi,
+            acc.locks, acc.phase)
+
+
+def _to_diagnostic(finding):
+    a, b = finding.a, finding.b
+    key = (finding.code, _site_key(a),
+           None if b is None else _site_key(b))
+    hit = _DIAG_CACHE.get(key)
+    if hit is not None:
+        return hit
+    if b is None:
+        message = ("unbounded shared access: %s may conflict with "
+                   "another context" % _fmt_access(a))
+    else:
+        message = "%s vs %s" % (_fmt_access(a), _fmt_access(b))
+    diag = Diagnostic(code=finding.code, message=message,
+                      program=a.program, pc=a.pc,
+                      held_locks=tuple(sorted(a.locks)))
+    if len(_DIAG_CACHE) >= _DIAG_CACHE_MAX:
+        _DIAG_CACHE.clear()
+    _DIAG_CACHE[key] = diag
+    return diag
+
+
+def findings_to_diagnostics(findings):
+    """Convert findings to Diagnostics, deduplicated per static site
+    pair — the same (program, pc) conflict observed between several
+    context pairs reports once."""
+    out = []
+    seen = set()
+    for finding in findings:
+        a, b = finding.a, finding.b
+        site = (finding.code, a.program, a.pc,
+                None if b is None else b.program,
+                -1 if b is None else b.pc)
+        if site in seen:
+            continue
+        seen.add(site)
+        out.append(_to_diagnostic(finding))
+    return out
+
+
+def analyze_races(programs):
+    """Race-check one context group; returns a list of Diagnostics.
+
+    ``programs`` holds one decoded Program per context.  A group of
+    fewer than two contexts can never race.  R701/R702 are
+    error-severity (they gate like verifier errors); R703/R704 are
+    audit-grade warnings.  Findings are deduplicated per static site
+    pair (the same conflict between several context pairs reports
+    once) and deterministically ordered.
+    """
+    return findings_to_diagnostics(race_findings(programs))
+
+
+# -- sanctioning ------------------------------------------------------------
+
+#: Builder-note sanction, mirroring the codebase lint's allow comments:
+#: ``b.note("lint: allow(R701, R702) -- why this race is intended")``
+#: on the accessing instruction.  The note rides in
+#: ``Program.annotations`` and renders into emitted assembly as a
+#: ``# lint: allow(...)`` comment at the sanctioned site.
+_ALLOW_RE = re.compile(r"lint:\s*allow\(([^)]+)\)(?:\s*--\s*(.*))?")
+
+
+def sanction_at(program, pc):
+    """(codes, rationale) sanctioned at this site, or (frozenset(), "").
+    """
+    note = getattr(program, "annotations", {}).get(pc) or ""
+    match = _ALLOW_RE.search(note)
+    if not match:
+        return frozenset(), ""
+    codes = frozenset(t.strip() for t in match.group(1).split(",")
+                      if t.strip())
+    return codes, (match.group(2) or "").strip()
+
+
+def split_sanctioned(findings, programs):
+    """Partition findings into ``(active, sanctioned)``.
+
+    A finding is sanctioned when either endpoint's program carries an
+    allow note for its code at the accessing pc (for R704, the single
+    endpoint).  Returns the two lists plus a ``{finding: rationale}``
+    map for reporting suppressed findings with their justification.
+    """
+    by_name = {p.name: p for p in programs}
+    active, sanctioned, rationales = [], [], {}
+    for finding in findings:
+        why = None
+        for end in (finding.a, finding.b):
+            if end is None or end.program not in by_name:
+                continue
+            codes, rationale = sanction_at(by_name[end.program], end.pc)
+            if finding.code in codes:
+                why = rationale
+                break
+        if why is None:
+            active.append(finding)
+        else:
+            sanctioned.append(finding)
+            rationales[finding] = why
+    return active, sanctioned, rationales
+
+
+# -- dynamic oracle (replay checker) ---------------------------------------
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """One dynamically observed data access (see
+    :class:`repro.core.tracing.SharedAccessRecorder`)."""
+
+    cycle: int
+    ctx: int              # context id (Process.pid)
+    pc: int
+    addr: int             # byte address of the accessed word
+    is_write: bool
+    locks: frozenset      # lock words held by this context at access
+    phase: int            # global barrier episode at access
+
+
+@dataclass(frozen=True)
+class DynamicRace:
+    """A pair of replayed accesses the lockset discipline cannot order."""
+
+    addr: int
+    ctx_pair: tuple       # sorted (ctx_a, ctx_b)
+    pcs: tuple            # (pc_a, pc_b) matching ctx_pair order
+
+
+def dynamic_races(records):
+    """Eraser-style replay over an access log.
+
+    Two accesses to the same word from different contexts race when at
+    least one writes, their held-lock sets are disjoint (no common lock
+    orders them), and they fall in the same barrier episode (a barrier
+    between them would order them).  Returns the deduplicated, sorted
+    list of :class:`DynamicRace`.
+    """
+    by_word = {}
+    for rec in records:
+        by_word.setdefault(rec.addr, []).append(rec)
+    races = set()
+    for addr in sorted(by_word):
+        recs = by_word[addr]
+        for i, a in enumerate(recs):
+            for b in recs[i + 1:]:
+                if a.ctx == b.ctx:
+                    continue
+                if not (a.is_write or b.is_write):
+                    continue
+                if a.phase != b.phase:
+                    continue
+                if a.locks & b.locks:
+                    continue
+                (ca, pa), (cb, pb) = sorted(((a.ctx, a.pc), (b.ctx, b.pc)))
+                races.add(DynamicRace(addr, (ca, cb), (pa, pb)))
+    return sorted(races, key=lambda r: (r.addr, r.ctx_pair, r.pcs))
+
+
+def uncovered_races(findings, races):
+    """Dynamic races not reported by any static finding — must be empty
+    for the soundness contract to hold."""
+    return [race for race in races
+            if not any(f.involves(race.ctx_pair, race.addr)
+                       for f in findings)]

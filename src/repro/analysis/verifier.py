@@ -10,10 +10,10 @@ Two levels:
 
 * ``level="load"`` — the cheap structural subset used by the opt-in
   ``Program(strict=True)`` hook: one fused pass over the instruction
-  list (entry/targets/terminator), plus the full CFG-based lock-balance
-  analysis *only* when the program actually contains sync opcodes
-  (sync-using programs in this suite are small).  Measured well under
-  5 % of program build time (``benchmarks/bench_lint_overhead.py``).
+  list (entry/targets/terminator), plus the depth-only CFG lock-balance
+  analysis *only* when the program actually contains sync opcodes.
+  Measured well under 5 % of program build time
+  (``benchmarks/bench_lint_overhead.py``).
 * ``level="full"`` — everything: exact reachability (fall-off-end and
   unreachable-code on the real CFG), the read-before-write dataflow,
   lock/barrier balance, and (when ``widths`` is given) the static
@@ -79,7 +79,7 @@ def verify_program(program, *, level="full", entry_defined=(),
         if has_sync:
             cfg = ProgramCFG(program)
             _check_termination(cfg, diags)
-            _check_lock_balance(cfg, diags)
+            _check_lock_balance_depths(cfg, diags)
         else:
             _quick_termination_check(program, diags)
         return diags
@@ -252,16 +252,20 @@ def _check_read_before_write(cfg, diags, entry_defined):
                 mask |= 1 << w
 
 
-def _check_lock_balance(cfg, diags):
-    """V106-V109: lock-depth dataflow (sets of possible depths).
+def _check_lock_balance_depths(cfg, diags):
+    """V106-V109 at ``level="load"``: depth-only lock dataflow.
 
     The lattice value at a point is the set of lock-nesting depths
     execution can reach it with (saturating at LOCK_DEPTH_CAP, so the
     fixpoint exists even for a lock inside a loop with no unlock).
-    The machine's locks are re-entrant per context (``SyncManager``
-    hands a held lock straight back to its holder), so nested LOCKs are
-    not themselves findings; only definite unlock-without-lock, definite
-    leaks at HALT, and barrier-while-locked are.
+    This is the cheap single-lattice pass the strict-load budget is
+    measured against; ``level="full"`` runs the per-lock-*word* version
+    on top of the combined abstract interpretation instead, which also
+    surfaces ``held_locks`` on each finding.  The machine's locks are
+    re-entrant per context (``SyncManager`` hands a held lock straight
+    back to its holder), so nested LOCKs are not themselves findings;
+    only definite unlock-without-lock, definite leaks at HALT, and
+    barrier-while-locked are.
     """
     program = cfg.program
     insts = program.instructions
@@ -337,6 +341,70 @@ def _check_lock_balance(cfg, diags):
     for block in blocks:
         if block.bid in reachable and in_set[block.bid]:
             transfer(in_set[block.bid], block, emit)
+
+
+def _check_lock_balance(cfg, diags):
+    """V106-V109 at ``level="full"``: lock-*set* dataflow.
+
+    Runs the combined abstract interpretation of
+    :mod:`repro.analysis.absint`, whose per-point value is the set of
+    possible lock *stacks* — the depth set falls out as the stack
+    lengths, and the must-held lock words are surfaced on each finding
+    as ``Diagnostic.held_locks`` (the race analysis consumes the same
+    memoised fixpoint, so lint's verify and race passes share the
+    work).
+    """
+    from repro.analysis.absint import analyze
+    program = cfg.program
+    result = analyze(program, cfg)
+    seen = set()
+
+    def emit(code, message, pc, held):
+        key = (code, pc)
+        if key not in seen:
+            seen.add(key)
+            diags.append(Diagnostic(code, message, program=program.name,
+                                    pc=pc,
+                                    held_locks=tuple(sorted(held))))
+
+    def _held_note(held):
+        if not held:
+            return ""
+        return "; holding %s" % ",".join("0x%x" % w for w in sorted(held))
+
+    def visit(pc, inst, state):
+        op = inst.op
+        if op is Op.UNLOCK:
+            depths = state.depths()
+            if depths == frozenset((0,)):
+                emit("V106", "unlock while definitely holding no lock",
+                     pc, frozenset())
+            elif 0 in depths:
+                emit("V108", "unlock reachable with lock depth 0 "
+                     "(depths %s)" % (sorted(depths),),
+                     pc, state.must_locks())
+        elif op is Op.BARRIER:
+            depths = state.depths()
+            if 0 not in depths:
+                held = state.must_locks()
+                emit("V109", "barrier arrival while definitely holding "
+                     "a lock (depths %s)%s"
+                     % (sorted(depths), _held_note(held)), pc, held)
+        elif op is Op.HALT:
+            depths = state.depths()
+            if not depths:
+                return
+            if 0 not in depths:
+                held = state.must_locks()
+                emit("V107", "HALT with a lock definitely still held "
+                     "(depths %s)%s"
+                     % (sorted(depths), _held_note(held)), pc, held)
+            elif depths != frozenset((0,)):
+                emit("V108", "HALT reachable with inconsistent lock "
+                     "depths %s" % (sorted(depths),),
+                     pc, state.must_locks())
+
+    result.walk(visit)
 
 
 def _reg(num):

@@ -72,6 +72,14 @@ class Processor:
         #: with kind in {"busy", "squash", "stall", "idle"}; used by the
         #: Figure 2/3 trace reproductions.  None (the default) is free.
         self.trace = None
+        #: Optional data-access hook ``fn(cycle, ctx, pc, addr, is_write)``
+        #: fired once per retired load/store, before it executes — the
+        #: dynamic oracle of the race analysis
+        #: (:class:`repro.core.tracing.SharedAccessRecorder`).  Like
+        #: ``trace``, setting it disables burst dispatch so every access
+        #: passes through the per-instruction retire path; None (the
+        #: default) is free.
+        self.access_log = None
         # Event-engine parking state (see park/unpark below): while
         # parked, idle-slot accounting is deferred and settled lazily so
         # a fast-forwarding loop never steps this processor cycle by
@@ -153,6 +161,7 @@ class Processor:
                     self.trace(now, ctx, "squash")
                 continue
             if (_slot == 0 and self.burst_enabled and self.trace is None
+                    and self.access_log is None
                     and self._try_burst(ctx, now)):
                 # A dispatched burst accounts every slot of every cycle
                 # in its window, including this cycle's.  (Dispatch is
@@ -340,6 +349,10 @@ class Processor:
     def _retire(self, ctx, inst, now):
         """Functionally execute and commit ``inst`` for ``ctx``."""
         state = ctx.state
+        if self.access_log is not None and inst.kind == KIND_MEM:
+            self.access_log(now, ctx, state.pc,
+                            state.regs[inst.rs1] + inst.imm,
+                            inst.info.is_store)
         execute(state, inst, self.memory)
         self.scoreboard.issue(ctx.cid, inst, now)
         stats = self.stats

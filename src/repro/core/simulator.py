@@ -111,7 +111,23 @@ class WorkstationSimulator:
         self.now = 0
         self._next_resident = 0     # index of the next process to schedule
         self._slices_elapsed = 0
+        #: Active SharedAccessRecorder (see trace_shared_accesses).
+        self.access_recorder = None
         self._load_group()
+
+    def trace_shared_accesses(self):
+        """Opt-in dynamic access log for the race-analysis oracle.
+
+        Attaches a :class:`repro.core.tracing.SharedAccessRecorder` to
+        the processor (disabling burst dispatch while installed, like
+        the slot tracer) and returns it.  Subsequent ``run()`` windows
+        attach the JSON-ready log to their core window result as
+        ``shared_accesses``.
+        """
+        from repro.core.tracing import SharedAccessRecorder
+        self.access_recorder = SharedAccessRecorder(self.sync).attach(
+            self.processor)
+        return self.access_recorder
 
     # -- scheduling ------------------------------------------------------------
 
@@ -211,6 +227,8 @@ class WorkstationSimulator:
         per_process = {p.name: p.retired - retired_before[p.name]
                        for p in self.processes}
         window = RunResult(self.now - start, stats, per_process)
+        if self.access_recorder is not None:
+            window.shared_accesses = self.access_recorder.to_payload()
         return workstation_run_result(self, window)
 
     def _advance(self, end):

@@ -1,10 +1,16 @@
-"""Issue-slot trace recording.
+"""Issue-slot trace and shared-access recording.
 
 The processor's ``trace`` hook fires once per issue slot with
 ``(cycle, context_or_None, kind)``; :class:`TimelineRecorder` collects
 those events into the paper's Figure 3 notation — one character per
 slot: the context's letter for an issued instruction, the lowercase
 letter for a squashed slot, ``.`` for a stall or idle slot.
+
+The ``access_log`` hook fires once per retired load/store;
+:class:`SharedAccessRecorder` stamps each access with the lock words
+its context held and the global barrier episode, producing the replay
+log the dynamic race oracle (:func:`repro.analysis.dynamic_races`)
+checks the static analysis against.
 """
 
 
@@ -58,3 +64,51 @@ class TimelineRecorder:
 
     def __len__(self):
         return len(self.events)
+
+
+class SharedAccessRecorder:
+    """Collects every retired data access with its synchronisation
+    context (the ``trace_shared_accesses`` hook).
+
+    Installing the recorder disables burst dispatch on the processor
+    (like the slot tracer) so every load/store passes through the
+    per-instruction retire path.  Each record carries the context id
+    (``Process.pid``), the cycle, pc, byte address, direction, the lock
+    words the context held at that instant, and the global barrier
+    episode — exactly the tuple :func:`repro.analysis.dynamic_races`
+    replays for the static-⊇-dynamic soundness check.
+    """
+
+    def __init__(self, sync):
+        self.sync = sync
+        self.processor = None
+        self.records = []
+
+    def attach(self, processor):
+        """Install on a processor; returns self for chaining."""
+        self.processor = processor
+        processor.access_log = self
+        return self
+
+    def _held_locks(self, ctx):
+        held = [addr for addr, lock in self.sync.locks.items()
+                if lock.holder == (self.processor, ctx)]
+        return frozenset(held)
+
+    def __call__(self, cycle, ctx, pc, addr, is_write):
+        from repro.analysis.races import AccessRecord
+        pid = ctx.process.pid if ctx.process is not None else -1
+        self.records.append(AccessRecord(
+            cycle=cycle, ctx=pid, pc=pc, addr=addr,
+            is_write=bool(is_write), locks=self._held_locks(ctx),
+            phase=self.sync.barrier_episodes))
+
+    def to_payload(self):
+        """JSON-serialisable access log for the stats payload."""
+        return [{"cycle": r.cycle, "ctx": r.ctx, "pc": r.pc,
+                 "addr": r.addr, "w": int(r.is_write),
+                 "locks": sorted(r.locks), "phase": r.phase}
+                for r in self.records]
+
+    def __len__(self):
+        return len(self.records)

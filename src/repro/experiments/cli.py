@@ -454,6 +454,99 @@ def _lint_programs(widths=(1, 2, 4)):
     return diags, programs
 
 
+def _race_groups():
+    """Every committed multi-context group: (label, [program, ...])."""
+    from repro.workloads.uniprocessor import WORKLOAD_ORDER, build_workload
+    from repro.workloads.splash import SPLASH_ORDER, build_app
+    groups = []
+    for name in WORKLOAD_ORDER:
+        processes, _instances, _barriers = build_workload(name, scale=1.0)
+        if len(processes) >= 2:
+            groups.append(("workload:%s" % name,
+                           [p.program for p in processes]))
+    for name in SPLASH_ORDER:
+        app = build_app(name, 4, threads_per_node=2)
+        if len(app.programs) >= 2:
+            groups.append(("splash:%s" % name, list(app.programs)))
+    return groups
+
+
+def _race_pass():
+    """Race-check every committed group.
+
+    Returns ``(diags, suppressed, summary)``: the active (unsanctioned)
+    diagnostics across all groups, the sanctioned findings as
+    ``{"group", "code", "site", "rationale"}`` entries, and a per-code
+    count summary.
+    """
+    from repro.analysis.races import (race_findings, split_sanctioned,
+                                      findings_to_diagnostics)
+    diags, suppressed = [], []
+    counts = {}
+    groups = _race_groups()
+    for label, programs in groups:
+        findings = race_findings(programs)
+        active, sanctioned, rationales = split_sanctioned(findings,
+                                                          programs)
+        for diag in findings_to_diagnostics(active):
+            diags.append(diag)
+            counts[diag.code] = counts.get(diag.code, 0) + 1
+        seen = set()
+        for finding in sanctioned:
+            site = "%s@pc=%d" % (finding.a.program, finding.a.pc)
+            if (finding.code, site) in seen:
+                continue
+            seen.add((finding.code, site))
+            suppressed.append({"group": label, "code": finding.code,
+                               "site": site,
+                               "rationale": rationales[finding]})
+    summary = dict(sorted(counts.items()))
+    summary["groups"] = len(groups)
+    summary["suppressed"] = len(suppressed)
+    return diags, suppressed, summary
+
+
+def _render_races_text(diags, suppressed):
+    """Race-pass text report: R704 summarised, everything else full."""
+    from repro.analysis import render_report
+    lines = []
+    loud = [d for d in diags if d.code != "R704"]
+    if loud:
+        lines.append(render_report(loud))
+    audits = {}
+    for d in diags:
+        if d.code == "R704":
+            audits[d.program] = audits.get(d.program, 0) + 1
+    if audits:
+        lines.append("R704 unbounded-access audits (run with --json "
+                     "for the full list): %s"
+                     % ", ".join("%s=%d" % kv
+                                 for kv in sorted(audits.items())))
+    for entry in suppressed:
+        lines.append("suppressed %(code)s %(group)s %(site)s "
+                     "-- %(rationale)s" % entry)
+    return "\n".join(lines)
+
+
+def _races(args):
+    """The 'races' verb: cross-context race analysis of every
+    committed multi-context group (R7xx rules)."""
+    import json as _json
+    from repro.analysis import has_errors
+    diags, suppressed, summary = _race_pass()
+    if args.json:
+        payload = {"races": summary,
+                   "suppressed": suppressed,
+                   "diagnostics": [d.to_dict() for d in diags]}
+        print(_json.dumps(payload, indent=2, sort_keys=True))
+    else:
+        text = _render_races_text(diags, suppressed)
+        if text:
+            print(text)
+        print("races: %s" % summary)
+    return 1 if has_errors(diags) else 0
+
+
 def _lint(args):
     """The 'lint' verb: codebase rules and/or program verification."""
     import json as _json
@@ -463,6 +556,7 @@ def _lint(args):
     do_programs = args.programs or both
     diags = []
     summary = {}
+    suppressed_races = []
     if do_codebase:
         codebase_diags, codebase_summary = lint_codebase()
         diags.extend(codebase_diags)
@@ -475,13 +569,24 @@ def _lint(args):
             "errors": sum(1 for d in program_diags if d.is_error),
             "warnings": sum(1 for d in program_diags if not d.is_error),
         }
+    if args.races:
+        race_diags, suppressed_races, race_summary = _race_pass()
+        diags.extend(race_diags)
+        summary["races"] = race_summary
     if args.json:
         payload = dict(summary)
+        if suppressed_races:
+            payload["suppressed_races"] = suppressed_races
         payload["diagnostics"] = [d.to_dict() for d in diags]
         print(_json.dumps(payload, indent=2, sort_keys=True))
     else:
-        if diags:
-            print(render_report(diags))
+        loud = [d for d in diags if d.code != "R704"]
+        if loud:
+            print(render_report(loud))
+        race_text = _render_races_text(
+            [d for d in diags if d.code == "R704"], suppressed_races)
+        if race_text:
+            print(race_text)
         for section in sorted(summary):
             print("%s: %s" % (section, summary[section]))
     return 1 if has_errors(diags) else 0
@@ -517,6 +622,7 @@ def main(argv=None, _ready=None):
     parser.add_argument("experiment",
                         choices=sorted(EXPERIMENTS) + ["all", "sweep",
                                                        "cache", "lint",
+                                                       "races",
                                                        "generate",
                                                        "serve", "submit",
                                                        "jobs"],
@@ -525,7 +631,9 @@ def main(argv=None, _ready=None):
                              "the on-disk cache and renders everything; "
                              "'cache' administers the cache; 'lint' runs "
                              "the static-analysis layer (codebase rules "
-                             "and program verification); 'generate' "
+                             "and program verification); 'races' runs "
+                             "the cross-context race analysis over every "
+                             "committed multi-context group; 'generate' "
                              "emits a family of generated programs from "
                              "--spec/--seed; 'submit' queues "
                              "a job in the spool, 'serve' runs queued "
@@ -662,6 +770,9 @@ def main(argv=None, _ready=None):
     lint_group.add_argument("--all", dest="lint_all", action="store_true",
                             help="both --codebase and --programs (the "
                                  "default when neither is given)")
+    lint_group.add_argument("--races", action="store_true",
+                            help="also race-check every committed "
+                                 "multi-context group (R7xx rules)")
     lint_group.add_argument("--json", action="store_true",
                             help="emit lint results as JSON")
     parser.add_argument("--no-cache", action="store_true",
@@ -681,6 +792,8 @@ def main(argv=None, _ready=None):
         return _cache_admin(args)
     if args.experiment == "lint":
         return _lint(args)
+    if args.experiment == "races":
+        return _races(args)
     if args.experiment == "generate":
         if args.verify and args.no_verify:
             parser.error("--verify and --no-verify are mutually "

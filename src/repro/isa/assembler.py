@@ -310,7 +310,7 @@ def assemble(source, name="program", code_base=0, data_base=0x100000,
                 raise AssemblerError("undefined label %r" % target)
 
     return Program(name, instructions, labels, data,
-                   code_base=code_base, strict=strict)
+                   code_base=code_base, strict=strict, equs=consts)
 
 
 def _expand(mnemonic, ops, symbol_value, line_no, raw, consts=None):

@@ -226,11 +226,18 @@ def execute(state, inst, mem):
     state.pc = taken if taken is not None else state.pc + 1
 
 
-def run_functional(program, memory=None, max_steps=1_000_000, state=None):
+def run_functional(program, memory=None, max_steps=1_000_000, state=None,
+                   trace_access=None):
     """Run a program to HALT with no timing model; returns (state, memory).
 
     This is the reference interpreter the timing simulator is validated
     against: both must compute identical architectural results.
+
+    ``trace_access`` (opt-in, None is free) is called as
+    ``fn(step, pc, addr, is_write)`` before every load/store executes —
+    the functional-interpreter end of the shared-access log the race
+    analysis validates against (the cycle-accurate end is
+    ``Processor.access_log``).
     """
     if memory is None:
         memory = Memory()
@@ -247,6 +254,11 @@ def run_functional(program, memory=None, max_steps=1_000_000, state=None):
         if not 0 <= state.pc < len(instructions):
             raise ExecutionError(
                 "pc %d outside program %r" % (state.pc, program.name))
-        execute(state, instructions[state.pc], memory)
+        inst = instructions[state.pc]
+        if trace_access is not None and inst.is_mem:
+            trace_access(steps, state.pc,
+                         state.regs[inst.rs1] + inst.imm,
+                         inst.info.is_store)
+        execute(state, inst, memory)
         steps += 1
     return state, memory

@@ -78,13 +78,18 @@ class Program:
     burst_provider = None
 
     def __init__(self, name, instructions, labels, data, code_base=0,
-                 entry=0, strict=False, annotations=None):
+                 entry=0, strict=False, annotations=None, equs=None):
         self.name = name
         self.instructions = instructions
         self.labels = labels
         self.data = data
         self.code_base = code_base
         self.entry = entry
+        #: Named ``.equ`` constants the program was assembled with —
+        #: immediates are already resolved in the instruction stream, so
+        #: these exist to name well-known slots (e.g. a shared lock
+        #: word) in :meth:`to_source` output and diagnostics.
+        self.equs = dict(equs) if equs else {}
         #: Optional instruction-index -> comment map (builder ``note=``
         #: annotations); purely presentational — rendered by
         #: :meth:`to_source`, never part of the fingerprint.
@@ -93,6 +98,10 @@ class Program:
         # (stall threshold, issue width); built on demand so
         # naive/event-engine runs never pay the segmentation cost.
         self._burst_tables = {}
+        # Static-analysis memos (repro.analysis.absint fixpoint, race
+        # access lists), same contract as the burst tables: the
+        # instruction stream is treated as immutable once analysed.
+        self._analysis_cache = {}
         for i, inst in enumerate(instructions):
             inst.index = i
         if strict:
@@ -174,6 +183,10 @@ class Program:
                  % (self.code_base,
                     self.data.base if self.data is not None else 0,
                     self.entry)]
+        for cname, value in self.equs.items():
+            lines.append("    .equ %s, %s"
+                         % (cname, "0x%X" % value if value >= 0
+                            else str(value)))
         if self.data is not None and self.data.words:
             lines.append("    .data")
             lines.extend(_render_data(self.data))

@@ -55,6 +55,13 @@ SHARING_PATTERNS = ("private", "read", "rw", "lock")
 #: region, so generated families never alias it.
 SHARED_BASE = 0x5F00000
 
+#: Address of the cross-context lock word — word 0 of the shared
+#: region (the data words start at ``SHARED_BASE + 4``).  Lock-using
+#: programs name it with a ``.equ SHARED_LOCK`` directive so the slot
+#: is self-describing in emitted source and the race analysis's
+#: lockset diagnostics.
+SHARED_LOCK = SHARED_BASE
+
 #: Issue widths the verify-at-birth burst audit covers (the Section 7
 #: extension grid, matching the differential matrix).
 AUDIT_WIDTHS = (1, 2, 4)
@@ -112,6 +119,12 @@ class GenSpec:
     # -- multi-context sharing pattern -----------------------------------
     sharing: str = "private"        # see SHARING_PATTERNS
     shared_words: int = 256         # size of the shared data region
+    #: ``sharing="rw"`` only: True (default) emits the historical
+    #: unsynchronised read-modify-write — a *deliberate* data race the
+    #: race analysis must report (R701/R702).  False wraps the same
+    #: access in the shared lock, and the generated group must verify
+    #: race-clean (checked at birth by :func:`generate_processes`).
+    racy: bool = True
 
     # -- validation -------------------------------------------------------
 
@@ -194,7 +207,15 @@ class GenSpec:
             key, value = (t.strip() for t in part.split("=", 1))
             if key not in types:
                 raise ValueError("unknown GenSpec field %r" % (key,))
-            if types[key] in (int, "int"):
+            if types[key] in (bool, "bool"):
+                if value.lower() in ("true", "1", "yes"):
+                    payload[key] = True
+                elif value.lower() in ("false", "0", "no"):
+                    payload[key] = False
+                else:
+                    raise ValueError("bad boolean %r for GenSpec field %r"
+                                     % (value, key))
+            elif types[key] in (int, "int"):
                 payload[key] = int(value, 0)
             elif types[key] in (float, "float"):
                 payload[key] = float(value)
@@ -311,11 +332,13 @@ class _Emitter:
         off = 4 * rng.randrange(spec.shared_words)
         if spec.sharing == "read":
             b.lw("t8", off, "k0")
-        elif spec.sharing == "rw":
+        elif spec.sharing == "rw" and spec.racy:
             b.lw("t8", off, "k0")
             b.addi("t8", "t8", 1)
             b.sw("t8", off, "k0")
-        elif spec.sharing == "lock":
+        elif spec.sharing in ("lock", "rw"):
+            # "lock", or the race-free rw variant (racy=False): the
+            # read-modify-write rides inside the shared lock.
             b.lock(0, "k1")
             b.lw("t8", off, "k0")
             b.addi("t8", "t8", 1)
@@ -333,7 +356,12 @@ def _emit_program(spec, b, rng, iterations):
     b.li("t0", 1)
     b.fcvtif("f1", "t0")                  # f1 = 1.0 (divisor seed)
     if spec.sharing != "private":
-        b.li("k1", SHARED_BASE, note="k1 = &shared lock word")
+        if spec.sharing == "lock" or (spec.sharing == "rw"
+                                      and not spec.racy):
+            # Lock-using programs carry the lock word's name in their
+            # emitted source (its own .equ slot).
+            b.equ("SHARED_LOCK", SHARED_LOCK)
+        b.li("k1", SHARED_LOCK, note="k1 = &shared lock word")
         b.li("k0", SHARED_BASE + 4, note="k0 = shared data base")
     emitter = _Emitter(spec, b, rng)
 
@@ -418,16 +446,50 @@ def generate_process(spec, index=0, iterations=None, verify=True):
     return Process("%s.%d" % (spec.name, index), program)
 
 
+def verify_group_races(spec, programs):
+    """Race-check a generated multi-context group against its spec.
+
+    ``sharing="rw", racy=True`` is a *deliberate* race: the static race
+    analysis must report it (R701/R702) or the analyzer has lost the
+    generator as a ground-truth source.  Every other spec — private,
+    read-only, lock-protected, and the ``racy=False`` lock-wrapped rw
+    variant — must come back R-clean.  Either violation raises
+    :class:`GenerationError`, making the race analysis part of the
+    group's birth verification.
+    """
+    from repro.analysis import analyze_races
+    diags = [d for d in analyze_races(programs)
+             if d.code in ("R701", "R702")]
+    expect_racy = spec.sharing == "rw" and spec.racy
+    if expect_racy and not diags:
+        raise GenerationError(
+            "generated group %r is a deliberate data race "
+            "(sharing=rw, racy=True) but the race analysis reported "
+            "no R701/R702 finding" % spec.name)
+    if not expect_racy and diags:
+        raise GenerationError(
+            "generated group %r must be race-free but the race "
+            "analysis found:\n%s"
+            % (spec.name, "\n".join("  " + d.render() for d in diags)))
+    return programs
+
+
 def generate_processes(spec, n_contexts, iterations=None, verify=True):
     """One process per context; index 0 is verified for the family.
 
     Fingerprints differ only in the staggered code base, so verifying
     the first member covers the family's code (the remaining members
-    are the same instruction sequence relocated).
+    are the same instruction sequence relocated).  Multi-context groups
+    additionally pass :func:`verify_group_races` — the cross-context
+    race analysis agrees with the spec's ``racy`` declaration or the
+    group is rejected at birth.
     """
-    return [generate_process(spec, index=i, iterations=iterations,
-                             verify=verify and i == 0)
-            for i in range(n_contexts)]
+    processes = [generate_process(spec, index=i, iterations=iterations,
+                                  verify=verify and i == 0)
+                 for i in range(n_contexts)]
+    if verify and n_contexts >= 2:
+        verify_group_races(spec, [p.program for p in processes])
+    return processes
 
 
 def generate_family(spec, count, iterations=None, verify=True):

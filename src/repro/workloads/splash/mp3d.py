@@ -52,8 +52,16 @@ def build(n_threads, threads_per_node=1, scale=1.0,
                 b.andi("t2", "t2", _CELLS - 1)
                 b.sll("t2", "t2", 2)
                 b.add("t2", "t2", "s2")
+                b.note("lint: allow(R701, R702) -- unsynchronised "
+                       "cell scatter is MP3D's defining migratory "
+                       "write-share (Table 9); lost increments only "
+                       "perturb the statistics")
                 b.lw("t3", 0, "t2")
                 b.addi("t3", "t3", 1)
+                b.note("lint: allow(R701, R702) -- unsynchronised "
+                       "cell scatter is MP3D's defining migratory "
+                       "write-share (Table 9); lost increments only "
+                       "perturb the statistics")
                 b.sw("t3", 0, "t2")
                 # occasional collision: reverse velocity
                 b.andi("t4", "t0", 7)

@@ -1,0 +1,306 @@
+"""Race-analysis rules: per-rule trigger and pass, properties, mutations.
+
+Four areas:
+
+* **Per-rule** — one triggering and one passing hand-built group per
+  R7xx code (the :mod:`tests.analysis.test_verifier` style).
+* **Generated groups** — the generator's sharing patterns land where
+  the spec says: ``rw`` (racy) reports R701/R702, ``lock`` and
+  ``racy=False`` report none, single-context groups report none.
+* **Properties** — ``analyze_races`` is deterministic and invariant
+  under permutation of the context list (hypothesis).
+* **Mutations** — dropping a LOCK, retargeting the lock word, and
+  skewing a barrier out of a clean group must each surface an R-code.
+"""
+
+import dataclasses
+
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis import analyze_races, has_errors, race_findings
+from repro.analysis.races import sanction_at, split_sanctioned
+from repro.isa.builder import AsmBuilder
+from repro.isa.instruction import Instruction
+from repro.isa.opcodes import Op
+from repro.workloads.generator import (
+    GenSpec,
+    GenerationError,
+    generate_processes,
+)
+
+#: A word both contexts of a hand-built pair touch.
+SHARED = 0x5000
+#: A lock word for the lock-discipline tests.
+LOCK = 0x4000
+
+_NOP = lambda: Instruction(Op.ADD, rd=0, rs1=0, rs2=0)  # noqa: E731
+
+
+def _ctx(name, fn):
+    b = AsmBuilder(name, data_base=0x1000)
+    fn(b)
+    b.halt()
+    return b.build()
+
+
+def _codes(diags):
+    return {d.code for d in diags}
+
+
+def _writer(b):
+    b.li("t0", SHARED)
+    b.addi("t1", "zero", 7)
+    b.sw("t1", 0, "t0")
+
+
+def _reader(b):
+    b.li("t0", SHARED)
+    b.lw("t1", 0, "t0")
+
+
+def _locked_writer(b):
+    b.li("t0", SHARED)
+    b.li("k1", LOCK)
+    b.lock(0, "k1")
+    b.sw("t1", 0, "t0")
+    b.unlock(0, "k1")
+
+
+# -- R701: write/write ------------------------------------------------------
+
+def test_r701_unlocked_writes_race():
+    diags = analyze_races([_ctx("a", _writer), _ctx("b", _writer)])
+    assert _codes(diags) == {"R701"} and has_errors(diags)
+    assert all(d.to_dict()["rule_category"] == "races" for d in diags)
+
+
+def test_r701_pass_common_lock():
+    group = [_ctx("a", _locked_writer), _ctx("b", _locked_writer)]
+    assert not analyze_races(group)
+
+
+def test_r701_pass_disjoint_words():
+    def other(b):
+        b.li("t0", SHARED + 64)
+        b.sw("t1", 0, "t0")
+    assert not analyze_races([_ctx("a", _writer), _ctx("b", other)])
+
+
+# -- R702: read/write -------------------------------------------------------
+
+def test_r702_unlocked_read_write_race():
+    diags = analyze_races([_ctx("a", _writer), _ctx("b", _reader)])
+    assert _codes(diags) == {"R702"} and has_errors(diags)
+
+
+def test_r702_pass_barrier_ordered():
+    def before(b):
+        _writer(b)
+        b.barrier(1)
+
+    def after(b):
+        b.barrier(1)
+        _writer(b)
+
+    # The accesses sit in different barrier phases (0 vs 1), so the
+    # phases are incompatible and no pair is reported.
+    assert not analyze_races([_ctx("a", before), _ctx("b", after)])
+
+
+def test_r702_pass_read_only():
+    assert not analyze_races([_ctx("a", _reader), _ctx("b", _reader)])
+
+
+# -- R703: unlock-protected read of lock-protected data ---------------------
+
+def test_r703_unlocked_peek_warns():
+    diags = analyze_races([_ctx("a", _locked_writer),
+                           _ctx("b", _reader)])
+    assert _codes(diags) == {"R703"} and not has_errors(diags)
+
+
+def test_r703_held_locks_in_payload():
+    diags = analyze_races([_ctx("a", _locked_writer),
+                           _ctx("b", _reader)])
+    payloads = [d.to_dict() for d in diags]
+    assert any(p.get("held_locks") == [LOCK] for p in payloads)
+
+
+# -- R704: widening-unbounded access ----------------------------------------
+
+def _unbounded_writer(b):
+    b.li("t0", SHARED)
+    b.label("L")
+    b.sw("t1", 0, "t0")
+    b.addi("t0", "t0", 4)
+    b.lw("t2", 0, "t0")
+    b.bne("t2", "zero", "L")      # data-dependent: no bound on t0
+
+
+def test_r704_unbounded_pointer_walk_warns():
+    diags = analyze_races([_ctx("a", _unbounded_writer),
+                           _ctx("b", _reader)])
+    assert "R704" in _codes(diags) and not has_errors(diags)
+
+
+def test_r704_pass_counted_loop_stays_bounded():
+    def counted(base):
+        def fn(b):
+            b.li("s0", base)
+            b.li("s2", base + 256)
+            b.label("L")
+            b.sw("t1", 0, "s0")
+            b.addi("s0", "s0", 4)
+            b.blt("s0", "s2", "L")
+        return fn
+
+    # Disjoint footprints, both loops bounded by branch refinement:
+    # nothing to report at all.
+    assert not analyze_races([_ctx("a", counted(0x8000)),
+                              _ctx("b", counted(0x9000))])
+
+
+# -- group-level behaviour --------------------------------------------------
+
+def test_single_context_never_races():
+    assert not analyze_races([_ctx("a", _writer)])
+    assert not race_findings([_ctx("a", _writer)])
+
+
+_SMALL = dict(block_size=12, loop_iterations=4, footprint_words=64)
+
+
+def test_generated_rw_reports_errors():
+    procs = generate_processes(GenSpec(name="rw", seed=3, sharing="rw",
+                                       **_SMALL), 2, iterations=2)
+    codes = _codes(analyze_races([p.program for p in procs]))
+    assert codes & {"R701", "R702"}
+
+
+def test_generated_lock_is_clean():
+    procs = generate_processes(GenSpec(name="lk", seed=3,
+                                       sharing="lock", **_SMALL),
+                               2, iterations=2)
+    assert not analyze_races([p.program for p in procs])
+
+
+def test_generated_nonracy_rw_is_clean():
+    procs = generate_processes(GenSpec(name="nr", seed=3, sharing="rw",
+                                       racy=False, **_SMALL),
+                               2, iterations=2)
+    assert not analyze_races([p.program for p in procs])
+
+
+def test_generator_rejects_silent_racy_group():
+    # A racy=False spec whose emission actually races must raise: fake
+    # it by declaring the racy emission non-racy via verify_group_races.
+    from repro.workloads.generator import verify_group_races
+    procs = generate_processes(GenSpec(name="rw", seed=3, sharing="rw",
+                                       **_SMALL), 2, iterations=2,
+                               verify=False)
+    bad_spec = GenSpec(name="rw", seed=3, sharing="rw", racy=False,
+                       **_SMALL)
+    try:
+        verify_group_races(bad_spec, [p.program for p in procs])
+    except GenerationError:
+        pass
+    else:
+        raise AssertionError("racy group accepted as race-free")
+
+
+# -- sanctioning ------------------------------------------------------------
+
+def test_allow_note_sanctions_finding():
+    def sanctioned_writer(b):
+        b.li("t0", SHARED)
+        b.note("lint: allow(R701) -- intentional scatter for the test")
+        b.sw("t1", 0, "t0")
+
+    group = [_ctx("a", sanctioned_writer), _ctx("b", _writer)]
+    findings = race_findings(group)
+    assert findings
+    active, sanctioned, rationales = split_sanctioned(findings, group)
+    assert not active and sanctioned
+    assert "intentional scatter" in rationales[sanctioned[0]]
+    codes, why = sanction_at(group[0], sanctioned[0].a.pc)
+    assert codes == {"R701"} and why.startswith("intentional")
+
+
+def test_allow_note_only_covers_listed_codes():
+    def sanctioned_writer(b):
+        b.li("t0", SHARED)
+        b.note("lint: allow(R702) -- wrong code on purpose")
+        b.sw("t1", 0, "t0")
+
+    group = [_ctx("a", sanctioned_writer), _ctx("b", _writer)]
+    active, sanctioned, _ = split_sanctioned(race_findings(group), group)
+    assert active and not sanctioned      # R701 is not allowed
+
+
+# -- properties: determinism and permutation invariance ---------------------
+
+@settings(max_examples=12, derandomize=True, deadline=None)
+@given(st.sampled_from(("private", "read", "rw", "lock")),
+       st.integers(0, 2 ** 10),
+       st.permutations([0, 1, 2]))
+def test_analysis_deterministic_and_order_invariant(sharing, seed, perm):
+    spec = GenSpec(name="prop", seed=seed, sharing=sharing, **_SMALL)
+    programs = [p.program
+                for p in generate_processes(spec, 3, iterations=2,
+                                            verify=False)]
+    base = [d.to_dict() for d in analyze_races(programs)]
+    again = [d.to_dict() for d in analyze_races(programs)]
+    assert base == again
+    shuffled = [d.to_dict()
+                for d in analyze_races([programs[i] for i in perm])]
+    assert shuffled == base
+
+
+# -- mutations: races injected into clean groups must surface ---------------
+
+def _lock_group(n=2):
+    return [p.program
+            for p in generate_processes(
+                GenSpec(name="mut", seed=5, sharing="lock", **_SMALL),
+                n, iterations=2, verify=False)]
+
+
+def test_mutation_dropped_lock_surfaces_race():
+    programs = _lock_group()
+    victim = programs[0]
+    lock_pc = next(i for i, inst in enumerate(victim.instructions)
+                   if inst.op is Op.LOCK)
+    victim.instructions[lock_pc] = _NOP()
+    codes = _codes(analyze_races(programs))
+    assert codes & {"R701", "R702", "R703"}
+
+
+def test_mutation_retargeted_lock_word_surfaces_race():
+    programs = _lock_group()
+    victim = programs[0]
+    for inst in victim.instructions:
+        if inst.op in (Op.LOCK, Op.UNLOCK):
+            inst.imm += 8             # a different lock word entirely
+    codes = _codes(analyze_races(programs))
+    assert "R701" in codes
+
+
+def test_mutation_skewed_barrier_surfaces_race():
+    def before(b):
+        _writer(b)
+        b.barrier(1)
+
+    def after(b):
+        b.barrier(1)
+        _writer(b)
+
+    clean = [_ctx("a", before), _ctx("b", after)]
+    assert not analyze_races(clean)
+
+    mutated = [_ctx("a", before), _ctx("b", after)]
+    barrier_pc = next(i for i, inst
+                      in enumerate(mutated[1].instructions)
+                      if inst.op is Op.BARRIER)
+    mutated[1].instructions[barrier_pc] = _NOP()
+    codes = _codes(analyze_races(mutated))
+    assert "R701" in codes

@@ -1,5 +1,6 @@
 # program: g-lock
 # code_base: 0x0  data_base: 0x100000  entry: 0
+    .equ SHARED_LOCK, 0x5F00000
     .data
 data:
     .word 0, 3, 6, 9, 12, 15, 18, 21
